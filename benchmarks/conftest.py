@@ -1,0 +1,26 @@
+"""Shared helpers for the per-table/figure benchmarks.
+
+Each bench runs its experiment exactly once (``benchmark.pedantic`` with
+one round — these are minutes-scale analog simulations, not microbenches),
+asserts the paper's qualitative claims and records the formatted table
+into ``benchmarks/results/<name>.txt`` so the regenerated rows/series are
+inspectable after the run.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Persist one experiment's formatted output (and echo it)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[recorded to {path}]")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

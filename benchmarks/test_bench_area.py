@@ -1,0 +1,23 @@
+"""Section 6.5 — area overhead of the detector schemes.
+
+Regenerates the area comparison behind the paper's "little overhead"
+claim and the Fig. 15 dual-emitter optimization, against the prior-art
+XOR-observer baseline [4].
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import section65_area
+
+
+def test_area_overheads(benchmark):
+    result = run_once(benchmark, section65_area, n_gates=100)
+    record("area", result.format())
+
+    table = result.relative_overhead
+    # Paper ordering: shared variant 3 beats the per-gate XOR observer...
+    assert table["variant3-shared"] < table["xor-observer"]
+    # ...and the dual-emitter merge (Fig. 15) reduces it further.
+    assert table["variant3-dual-emitter"] < table["variant3-shared"]
+    # Headline: well under one buffer-equivalent per monitored gate.
+    assert table["variant3-dual-emitter"] < 1.0

@@ -1,0 +1,36 @@
+"""Fig. 12 — comparator hysteresis from the positive feedback.
+
+Regenerates the Fig. 12 characterisation: sweep a forced vout down and up
+through the variant-3 comparator and read the guaranteed-detect /
+guaranteed-pass thresholds (paper: 3.54 V and 3.57 V — a ~30 mV band).
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig12_hysteresis
+from repro.cml import NOMINAL
+from repro.dft import ComparatorConfig
+
+
+def test_fig12_hysteresis(benchmark):
+    result = run_once(benchmark, fig12_hysteresis)
+    record("fig12", result.format())
+
+    # A genuine hysteresis band of a few tens of mV below vtest.
+    assert 0.01 < result.width < 0.08
+    assert NOMINAL.vtest - 0.3 < result.detect_threshold \
+        < result.release_threshold < NOMINAL.vtest
+
+    # The flag output is restored to standard CML levels.
+    low, high = result.flag_levels
+    assert abs(high - NOMINAL.vhigh) < 0.05
+    assert abs(low - NOMINAL.vlow) < 0.05
+
+
+def test_fig12_feedback_ablation(benchmark):
+    """Ablation: without the vfb positive feedback the comparator has no
+    hysteresis — the feedback is what guarantees noise-immune verdicts."""
+    result = run_once(benchmark, fig12_hysteresis,
+                      config=ComparatorConfig(feedback=False))
+    record("fig12_no_feedback", result.format())
+    assert abs(result.width) < 0.012

@@ -1,0 +1,32 @@
+"""Fig. 14 — load sharing: fault-free vout vs N, safe sharing bound.
+
+Regenerates the Fig. 14 curve from DC operating points of N-buffer chains
+sharing one monitor.  Claims checked: vout decreases linearly with N
+(R0-dominated leakage), the safe sharing bound lands in the tens of gates
+(paper: 45), and a faulty gate is still detected.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig14_load_sharing
+
+N_VALUES = (1, 5, 10, 20, 30, 45, 60)
+
+
+def test_fig14_load_sharing(benchmark):
+    result = run_once(benchmark, fig14_load_sharing, n_values=N_VALUES)
+    record("fig14", result.format())
+
+    # Fault-free vout declines monotonically over the PASS samples...
+    pass_vout = [v for v, ok in zip(result.vout, result.flag_pass) if ok]
+    assert all(a > b for a, b in zip(pass_vout, pass_vout[1:]))
+    # ...with a roughly constant mV/gate slope (linear, R0-dominated).
+    assert 0.3e-3 < result.slope_per_gate < 3e-3
+
+    # Paper's criterion evaluates to 45; same order here.
+    assert 25 < result.safe_n < 70
+
+    # Sharing never masks a real fault: the faulty single-gate monitor
+    # rests far below the detection band.
+    assert result.faulty_vout_n1 is not None
+    assert result.faulty_vout_n1 < result.release_threshold - 0.02

@@ -1,0 +1,22 @@
+"""Fig. 2 — a collector-emitter short on Q2 maps into output stuck-at-0.
+
+Regenerates the Fig. 2 waveform readout: the faulty output ``opf`` is
+pinned at the logic-low level while the input toggles at 100 MHz.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig2_stuck_at
+from repro.cml import NOMINAL
+
+
+def test_fig2_stuck_at(benchmark):
+    result = run_once(benchmark, fig2_stuck_at)
+    record("fig2", result.format())
+
+    # Paper claim: the defect maps into a clean stuck-at-0.
+    assert result.stuck_at_zero
+    # op is frozen at the low level; opb still sits at a legal level.
+    assert result.op_swing < 0.1 * NOMINAL.swing
+    assert result.op_levels[1] < NOMINAL.vlow + 0.05
+    assert result.opb_levels[0] > NOMINAL.vlow - 0.05

@@ -1,0 +1,25 @@
+"""Fig. 4 — 4 kΩ pipe on DUT.Q3: swing ~doubles locally, heals downstream.
+
+Regenerates the Fig. 4 readout: per-stage swings and low levels for the
+fault-free and faulty chains at 100 MHz.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig4_healing
+from repro.cml import NOMINAL
+
+
+def test_fig4_healing(benchmark):
+    result = run_once(benchmark, fig4_healing)
+    record("fig4", result.format())
+
+    # Paper: "the voltage swing has nearly doubled" at the faulty gate.
+    assert 1.7 < result.dut_swing_ratio < 2.7
+    # Paper: "after 4 logic gates, the degraded signal ... can be
+    # completely restored" — healed at or before op6.
+    healed = result.healed_by(tolerance=0.05)
+    assert healed in ("op3", "op4", "op5", "op6")
+    # The high level is unaffected (only the low excursion grows).
+    dut = result.stage_names.index("op")
+    assert result.faulty_vlow[dut] < result.ff_vlow[dut] - 0.2

@@ -1,0 +1,39 @@
+"""Fig. 5 — Vlow and Vhigh vs pipe value and frequency.
+
+Regenerates the Fig. 5 series: the DUT output levels for pipe values of
+1/3/5 kΩ (plus the fault-free reference) across the frequency sweep.  Two
+paper claims are checked: the excursion shrinks as the pipe resistance
+grows, and it also shrinks (levels converge) as frequency grows.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig5_excursion
+from repro.cml import NOMINAL
+
+#: Reduced sweep for bench speed; EXPERIMENTS.md lists the full one.
+FREQUENCIES = (100e6, 1e9, 2e9, 3e9)
+PIPES = (None, 1e3, 3e3, 5e3)
+
+
+def test_fig5_excursion_sweep(benchmark):
+    result = run_once(benchmark, fig5_excursion,
+                      pipe_values=PIPES, frequencies=FREQUENCIES)
+    record("fig5", result.format())
+
+    low_f = 0  # index of 100 MHz
+
+    # Excursion ordered by pipe severity at low frequency.
+    assert (result.vlow[1e3][low_f] < result.vlow[3e3][low_f]
+            < result.vlow[5e3][low_f] < result.vlow[None][low_f])
+
+    # Fault-free levels are the nominal ones.
+    assert abs(result.vlow[None][low_f] - NOMINAL.vlow) < 0.02
+    assert abs(result.vhigh[None][low_f] - NOMINAL.vhigh) < 0.02
+
+    # Paper: "the excessive amplitude of the low excursion also decreases
+    # with increasing frequency" — levels converge at the top frequency.
+    for pipe in (1e3, 3e3, 5e3):
+        excess_low_f = result.vlow[None][low_f] - result.vlow[pipe][low_f]
+        excess_high_f = result.vlow[None][-1] - result.vlow[pipe][-1]
+        assert excess_high_f < excess_low_f

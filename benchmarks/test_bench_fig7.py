@@ -1,0 +1,37 @@
+"""Fig. 7 — variant-1 detector response (1 kΩ pipe, 10 pF, 100 MHz).
+
+Regenerates the Fig. 7 transient characterisation: the detector output
+decays through a transient period and settles into a rippling stable
+period, characterised by tstability and Vmax.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig7_detector_response
+from repro.cml import NOMINAL
+
+
+def test_fig7_detector_response(benchmark):
+    result = run_once(benchmark, fig7_detector_response,
+                      pipe_resistance=1e3, load_cap=10e-12)
+    record("fig7", result.format())
+
+    # The 1 kΩ pipe is detected: vout leaves the fault-free band.
+    assert result.detected
+    assert result.v_min < NOMINAL.vgnd - 0.5
+
+    # The response has the paper's two-phase shape: a stability time
+    # within the window followed by a bounded ripple.
+    assert result.t_stability is not None
+    assert result.t_stability < 100e-9
+    assert result.v_max is not None
+    assert 0.0 < result.ripple < 0.3
+
+
+def test_fig7_fault_free_reference(benchmark):
+    result = run_once(benchmark, fig7_detector_response,
+                      pipe_resistance=None, load_cap=10e-12, cycles=15)
+    record("fig7_fault_free", result.format())
+    # Fault-free: no detection event at all.
+    assert not result.detected
+    assert result.t_stability is None

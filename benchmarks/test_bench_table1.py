@@ -1,0 +1,32 @@
+"""Table 1 — delays at the fixed nominal crossing voltage.
+
+Regenerates the Table 1 rows: cumulative edge times at every chain tap
+for the fault-free and 4 kΩ-piped chains, measured where the waveform
+crosses the nominal mid level (the paper's 3.165 V; here ``tech.vmid``).
+The pipe produces a large asymmetric anomaly at the DUT that vanishes at
+the chain output — the fault is not observable by output delay testing.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis import table1_delays
+
+
+def test_table1_fixed_crossing_delays(benchmark):
+    result = run_once(benchmark, table1_delays)
+    record("table1", result.format())
+
+    stage_delay = result.nominal_stage_delay()
+    # Calibration anchor: nominal stage delay in the tens of ps (paper 53).
+    assert 30e-12 < stage_delay < 70e-12
+
+    # Paper: ~58 ps anomaly at the DUT (about one full gate delay)...
+    assert result.max_delta_at_dut() > 0.7 * stage_delay
+    # ...healing to ~1 ps at the chain output.
+    assert result.final_delta() < 0.1 * stage_delay
+
+    # The anomaly is asymmetric: one output looks slower, the complement
+    # looks *faster* (paper: +58 ps / -16 ps).
+    dut = result.taps.index("op")
+    deltas = (result.delta_op()[dut], result.delta_opb()[dut])
+    assert max(deltas) > 0 and min(deltas) < 0

@@ -1,0 +1,73 @@
+"""Detector design-space exploration (paper sections 6.1-6.4 knobs).
+
+Sweeps the main detector design choices on a fixed fault (3 kOhm pipe,
+100 MHz) and prints their effect on detection speed and depth:
+
+* diode vs resistor load (the paper notes a 160 kOhm resistor also works
+  but settles more slowly);
+* load capacitor value (1 pF vs 10 pF);
+* variant 1 vs variant 2 (vtest-biased);
+* vtest level for variant 2 (the paper picks 3.7 V for VBE = 900 mV).
+
+Run with:  python examples/detector_design_space.py
+"""
+
+from repro.analysis.reporting import format_table, nanoseconds
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import DetectorConfig, attach_variant1, attach_variant2, ensure_vtest
+from repro.dft import test_mode_entry
+from repro.faults import Pipe, inject
+from repro.sim import run_cycles
+
+TECH = NOMINAL
+PIPE = 3e3
+FREQUENCY = 100e6
+
+
+def run_case(variant, config, vtest_level=None):
+    chain = buffer_chain(TECH, frequency=FREQUENCY)
+    if variant == 1:
+        detector = attach_variant1(chain.circuit, "op", "opb", tech=TECH,
+                                   config=config)
+    else:
+        ensure_vtest(chain.circuit, TECH,
+                     test_mode_entry(TECH, level=vtest_level))
+        detector = attach_variant2(chain.circuit, "op", "opb", tech=TECH,
+                                   config=config)
+    faulty = inject(chain.circuit, Pipe("DUT.Q3", PIPE))
+    result = run_cycles(faulty, FREQUENCY, cycles=30, points_per_cycle=120,
+                        cap_overrides={f"{detector.name}.C7": 0.0})
+    wave = result.wave(detector.vout)
+    t_detect = wave.first_crossing(TECH.vgnd - 0.25, "fall")
+    return wave.minimum(), t_detect
+
+
+def main() -> None:
+    cases = [
+        ("v1 diode + 1 pF", 1, DetectorConfig(load_cap=1e-12), None),
+        ("v1 diode + 10 pF", 1, DetectorConfig(load_cap=10e-12), None),
+        ("v1 160k resistor + 1 pF", 1,
+         DetectorConfig(load="resistor", load_resistance=160e3,
+                        load_cap=1e-12), None),
+        ("v2 vtest=3.7 + 1 pF", 2, DetectorConfig(load_cap=1e-12), 3.7),
+        ("v2 vtest=3.6 + 1 pF", 2, DetectorConfig(load_cap=1e-12), 3.6),
+        ("v2 vtest=3.8 + 1 pF", 2, DetectorConfig(load_cap=1e-12), 3.8),
+        ("v2 dual-emitter-equiv", 2, DetectorConfig(load_cap=1e-12), 3.7),
+    ]
+    rows = []
+    for label, variant, config, vtest in cases:
+        v_min, t_detect = run_case(variant, config, vtest)
+        rows.append([label, f"{v_min:.3f}",
+                     f"{nanoseconds(t_detect):.1f}" if t_detect else "-"])
+    print(format_table(
+        ["configuration", "vout min (V)", "t_detect (ns)"], rows,
+        title=f"Detector design space on a {PIPE/1e3:.0f}k pipe @ "
+              f"{FREQUENCY/1e6:.0f} MHz"))
+    print(
+        "\nReading: variant 2 responds fastest and deepest; raising vtest\n"
+        "lowers the detectable amplitude but eats fault-free margin; the\n"
+        "resistor load works but recovers vout differently than the diode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Full DFT flow on a real logic block: synthesize, instrument, test.
+
+Takes the one-bit full adder from the gate level down to transistors,
+inserts shared variant-3 monitors on every gate output, computes the
+sensitization vectors (section 6.6), then fault-simulates a pipe defect
+in each gate's current source and reads the monitor flag.
+
+Run with:  python examples/dft_insertion_flow.py
+"""
+
+from repro.circuit import VoltageSource
+from repro.cml import NOMINAL
+from repro.dft import instrument_pairs
+from repro.faults import Pipe, inject
+from repro.sim import operating_point
+from repro.testgen import compact_plan, full_adder, sensitization_plan, synthesize
+
+TECH = NOMINAL
+
+
+def drive(design, vector):
+    """Return a copy of the design's circuit with DC differential inputs."""
+    circuit = design.circuit.copy()
+    for signal, value in vector.items():
+        p, n = design.pair(signal)
+        vp = TECH.vhigh if value else TECH.vlow
+        vn = TECH.vlow if value else TECH.vhigh
+        circuit.add(VoltageSource(f"V_{signal}", p, "0", vp))
+        circuit.add(VoltageSource(f"V_{signal}b", n, "0", vn))
+    return circuit
+
+
+def main() -> None:
+    # -- Gate level: network + test vectors ----------------------------
+    network = full_adder()
+    pairs, untestable = sensitization_plan(network)
+    vectors = compact_plan(pairs)
+    print(f"Full adder: {len(network.gates)} gates, "
+          f"{len(vectors)} sensitization vectors, "
+          f"{len(untestable)} untestable outputs")
+
+    # -- Transistor level: synthesis + DFT insertion -------------------
+    design = synthesize(network, TECH)
+    monitors = instrument_pairs(design.circuit,
+                                design.gate_output_pairs(), TECH)
+    print(f"Synthesized to {design.circuit.summary()}; "
+          f"{monitors.n_monitored_gates} gates share "
+          f"{len(monitors.monitors)} monitor(s)")
+    flag, flagb = monitors.flag_nets()[0]
+
+    # -- Fault simulation: a pipe in every gate's current source -------
+    print("\nPer-gate pipe (4 kOhm on the tail transistor), flag read at "
+          "each sensitization vector:")
+    for gate_name in network.gates:
+        defect = Pipe(f"{gate_name}.Q3", 4e3)
+        caught_at = None
+        for index, vector in enumerate(vectors):
+            circuit = inject(drive(design, vector), defect)
+            op = operating_point(circuit)
+            if op.voltage(flag) < op.voltage(flagb):
+                caught_at = index
+                break
+        verdict = (f"DETECTED at vector {caught_at}"
+                   if caught_at is not None else "escaped")
+        print(f"  {gate_name:>3}: {verdict}")
+
+    # -- Fault-free sanity ---------------------------------------------
+    escapes = 0
+    for vector in vectors:
+        op = operating_point(drive(design, vector))
+        if op.voltage(flag) < op.voltage(flagb):
+            escapes += 1
+    print(f"\nFault-free runs wrongly flagged: {escapes}/{len(vectors)} "
+          "(hysteresis guarantees a clean PASS)")
+
+
+if __name__ == "__main__":
+    main()

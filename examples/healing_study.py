@@ -1,0 +1,49 @@
+"""Why delay testing misses CML parametric faults (paper Tables 1-2).
+
+The paper's most surprising observation: a defect that *doubles* a gate's
+output swing produces a large local delay anomaly — yet a few CML stages
+later the anomaly has healed to nothing, so neither logic test nor path
+delay test at the primary outputs can see it.
+
+This script regenerates both delay tables over several pipe severities
+and prints the anomaly-vs-tap profile, showing the healing effect and
+the difference between the two delay-measurement conventions.
+
+Run with:  python examples/healing_study.py
+"""
+
+from repro.analysis import table1_delays, table2_delays
+from repro.analysis.reporting import format_table, picoseconds
+
+
+def main() -> None:
+    rows = []
+    for pipe in (2e3, 4e3, 8e3):
+        table1 = table1_delays(pipe_resistance=pipe, points_per_cycle=1200)
+        table2 = table2_delays(pipe_resistance=pipe, points_per_cycle=1200)
+        stage = table1.nominal_stage_delay()
+        rows.append([
+            f"{pipe / 1e3:.0f}k",
+            picoseconds(table1.max_delta_at_dut()),
+            picoseconds(table1.final_delta()),
+            picoseconds(table2.max_delta_at_dut()),
+            picoseconds(table2.final_delta()),
+            picoseconds(stage),
+        ])
+        print(table1.format())
+        print()
+    print(format_table(
+        ["pipe", "T1 dt@DUT (ps)", "T1 dt@end (ps)",
+         "T2 dt@DUT (ps)", "T2 dt@end (ps)", "stage delay (ps)"],
+        rows,
+        title="Delay-test observability vs pipe severity "
+              "(T1 = fixed crossing, T2 = actual crossing)"))
+    print(
+        "\nReading: the fixed-crossing anomaly at the DUT is large for a\n"
+        "severe pipe but always heals by the chain output; at the actual\n"
+        "crossing even the local anomaly is small. A tester sampling the\n"
+        "primary outputs has nothing to catch - hence built-in detectors.")
+
+
+if __name__ == "__main__":
+    main()

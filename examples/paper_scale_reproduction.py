@@ -1,0 +1,106 @@
+"""Full paper-scale reproduction run (long: ~30-60 minutes).
+
+The benchmark suite uses reduced sweeps for CI speed; this script runs
+every experiment at the grids the paper plots and writes the results to
+``paper_scale_results/``.  Pass ``--quick`` to shrink the grids back to
+bench scale (useful for checking the script itself).
+
+Run with:  python examples/paper_scale_reproduction.py [--quick]
+"""
+
+import argparse
+import pathlib
+import time
+
+from repro.analysis import (
+    delay_escape_study,
+    dc_fault_coverage,
+    fig2_stuck_at,
+    fig4_healing,
+    fig5_excursion,
+    fig7_detector_response,
+    fig8_variant1_sweep,
+    fig10_variant2_sweep,
+    fig12_hysteresis,
+    fig14_load_sharing,
+    section65_area,
+    section66_toggle_study,
+    table1_delays,
+    table2_delays,
+)
+
+OUTPUT_DIR = pathlib.Path("paper_scale_results")
+
+
+def experiments(quick: bool):
+    """(name, thunk) pairs at paper or quick scale."""
+    if quick:
+        frequencies = (100e6, 1e9)
+        detector_freqs = (100e6, 500e6)
+        pipes_v1, pipes_v2 = (1e3, 2e3), (1e3, 3e3, 5e3)
+        caps = (1e-12,)
+        n_values = (1, 10, 30, 45)
+        cycles, samples = 20, 3
+    else:
+        frequencies = tuple(i * 250e6 for i in range(1, 13))  # to 3 GHz
+        detector_freqs = (100e6, 250e6, 500e6, 1e9, 2e9)
+        pipes_v1 = (1e3, 2e3, 3e3)
+        pipes_v2 = (1e3, 2e3, 3e3, 4e3, 5e3)
+        caps = (1e-12, 10e-12)
+        n_values = tuple(range(1, 61, 3))
+        cycles, samples = 60, 12
+
+    return [
+        ("fig2", lambda: fig2_stuck_at()),
+        ("fig4", lambda: fig4_healing()),
+        ("table1", lambda: table1_delays(points_per_cycle=4000)),
+        ("table2", lambda: table2_delays(points_per_cycle=4000)),
+        ("fig5", lambda: fig5_excursion(
+            pipe_values=(None, 1e3, 3e3, 5e3), frequencies=frequencies)),
+        ("fig7", lambda: fig7_detector_response(
+            pipe_resistance=1e3, load_cap=10e-12, cycles=cycles)),
+        ("fig8", lambda: fig8_variant1_sweep(
+            pipe_values=pipes_v1, frequencies=detector_freqs,
+            load_caps=caps, cycles=cycles)),
+        ("fig10", lambda: fig10_variant2_sweep(
+            pipe_values=pipes_v2, frequencies=detector_freqs,
+            load_caps=(1e-12,), cycles=cycles)),
+        ("fig12", lambda: fig12_hysteresis(dt=0.05e-9)),
+        ("fig14", lambda: fig14_load_sharing(n_values=n_values)),
+        ("area", lambda: section65_area(n_gates=1000)),
+        ("toggle", lambda: section66_toggle_study(n_vectors=512)),
+        ("coverage", lambda: dc_fault_coverage(
+            n_stages=8,
+            kinds=("pipe", "terminal-short", "resistor-short",
+                   "resistor-open"),
+            pipe_resistances=(1e3, 2e3, 4e3, 8e3))),
+        ("variation", lambda: delay_escape_study(n_samples=samples)),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="bench-scale grids (minutes, not an hour)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="run only these experiment names")
+    args = parser.parse_args()
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    total_start = time.time()
+    for name, thunk in experiments(args.quick):
+        if args.only and name not in args.only:
+            continue
+        started = time.time()
+        print(f"[{name}] running ...", flush=True)
+        result = thunk()
+        text = result.format()
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print(f"[{name}] {time.time() - started:.1f} s]\n", flush=True)
+    print(f"total: {(time.time() - total_start) / 60:.1f} min, results "
+          f"in {OUTPUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Sequential testing with random patterns (paper section 6.6).
+
+"For sequential circuits ... an effective method to obtain a good toggle
+coverage is to stimulate [them] with random patterns", after verifying
+pseudorandom initialization convergence (ref [13]).  This script runs
+that methodology on every sequential benchmark in the library, printing
+initialization lengths and toggle-coverage growth.
+
+Run with:  python examples/sequential_bist.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.testgen import (
+    BENCHMARKS,
+    convergence_length,
+    coverage_growth,
+    random_vectors,
+)
+
+
+def main() -> None:
+    rows = []
+    for name, builder in BENCHMARKS.items():
+        network = builder()
+        if not network.sequential_gates():
+            continue
+        vectors = random_vectors(network.primary_inputs, 256, seed=21)
+        init = convergence_length(network, vectors, replicas=4)
+
+        growth = coverage_growth(
+            network, random_vectors(network.primary_inputs, 256, seed=22))
+        to_full = next((i + 1 for i, c in enumerate(growth) if c >= 1.0),
+                       None)
+        rows.append([
+            name,
+            len(network.gates),
+            len(network.sequential_gates()),
+            init.cycles if init.converged else "never",
+            f"{growth[-1] * 100:.0f}%",
+            to_full if to_full is not None else "-",
+        ])
+    print(format_table(
+        ["circuit", "gates", "flops", "init cycles",
+         "toggle coverage", "vectors to 100%"], rows,
+        title="Random-pattern BIST readiness of the sequential benchmarks"))
+    print(
+        "\nReading: circuits whose next state is dominated by the shared\n"
+        "input stream (shift4, decider) converge within a few vectors and\n"
+        "reach full toggle coverage. The twisted ring (johnson4) never\n"
+        "forgets its phase - its feedback preserves the initial state\n"
+        "difference - so it needs an explicit initialization sequence:\n"
+        "exactly the caveat the paper cites from [13]. Toggle coverage is\n"
+        "still 100% (every output toggles), only the *predictability* of\n"
+        "the response needs the convergence property.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Reproduction of *Design For Testability Method for CML Digital Circuits*
+(Antaki, Savaria, Adham, Xiong — DATE 1999).
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.circuit` — netlists, devices, hierarchy;
+* :mod:`repro.sim` — MNA analog simulation engine (DC + transient);
+* :mod:`repro.cml` — the paper's CML cell library and buffer chains;
+* :mod:`repro.faults` — section-3 defect models and injection;
+* :mod:`repro.dft` — the paper's contribution: built-in amplitude detectors;
+* :mod:`repro.testgen` — section-6.6 toggle testing of logic networks;
+* :mod:`repro.analysis` — experiment runners for every table and figure.
+"""
+
+__version__ = "1.0.0"

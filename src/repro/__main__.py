@@ -1,0 +1,116 @@
+"""Command-line entry point: run paper experiments by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4 table1
+    python -m repro run all
+    python -m repro export-spice --stages 8 --pipe 4e3 chain.cir
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from . import analysis
+
+#: Experiment registry: name -> zero-argument callable returning a result
+#: object with a ``format()`` method.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": analysis.fig2_stuck_at,
+    "fig4": analysis.fig4_healing,
+    "table1": analysis.table1_delays,
+    "table2": analysis.table2_delays,
+    "fig5": analysis.fig5_excursion,
+    "fig7": analysis.fig7_detector_response,
+    "fig8": analysis.fig8_variant1_sweep,
+    "fig10": analysis.fig10_variant2_sweep,
+    "fig12": analysis.fig12_hysteresis,
+    "fig14": analysis.fig14_load_sharing,
+    "area": analysis.section65_area,
+    "toggle": analysis.section66_toggle_study,
+    "coverage": analysis.dc_fault_coverage,
+    "variation": analysis.delay_escape_study,
+}
+
+
+def _cmd_list() -> int:
+    print("Available experiments (python -m repro run <name> ...):")
+    for name, func in EXPERIMENTS.items():
+        doc = (func.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<10} {doc}")
+    return 0
+
+
+def _cmd_run(names) -> int:
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name]()
+        elapsed = time.time() - started
+        print(result.format())
+        print(f"[{name}: {elapsed:.1f} s]\n")
+    return 0
+
+
+def _cmd_export_spice(path: str, stages: int, pipe: float) -> int:
+    from .circuit.spice import write_spice
+    from .cml import NOMINAL, buffer_chain
+    from .dft import build_shared_monitor
+    from .faults import Pipe, inject
+
+    chain = buffer_chain(NOMINAL, n_stages=stages, frequency=100e6)
+    build_shared_monitor(chain.circuit, chain.output_nets)
+    circuit = chain.circuit
+    if pipe > 0:
+        circuit = inject(circuit, Pipe("DUT.Q3" if stages == 8 else
+                                       "X1.Q3", pipe))
+    write_spice(circuit, path,
+                title=f"instrumented {stages}-stage CML chain")
+    print(f"wrote {path} ({circuit.summary()})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'DFT Method for CML Digital "
+                    "Circuits' (DATE 1999)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments by name")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment names, or 'all'")
+
+    export = sub.add_parser("export-spice",
+                            help="export an instrumented chain as a "
+                                 "SPICE deck")
+    export.add_argument("path")
+    export.add_argument("--stages", type=int, default=8)
+    export.add_argument("--pipe", type=float, default=0.0,
+                        help="inject a C-E pipe of this resistance "
+                             "(0 = fault-free)")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names)
+    if args.command == "export-spice":
+        return _cmd_export_spice(args.path, args.stages, args.pipe)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Experiment runners for every table and figure of the paper.
+
+One function per evaluation artefact (see DESIGN.md section 4):
+
+========  =====================================================
+Fig. 2    :func:`fig2_stuck_at`
+Fig. 4    :func:`fig4_healing`
+Table 1   :func:`table1_delays`
+Table 2   :func:`table2_delays`
+Fig. 5    :func:`fig5_excursion`
+Fig. 7    :func:`fig7_detector_response`
+Fig. 8    :func:`fig8_variant1_sweep`
+Fig. 10   :func:`fig10_variant2_sweep`
+Fig. 12   :func:`fig12_hysteresis`
+Fig. 14   :func:`fig14_load_sharing`
+§6.5      :func:`section65_area`
+§6.6      :func:`section66_toggle_study`
+(ext.)    :func:`dc_fault_coverage`
+========  =====================================================
+"""
+
+from .chain_experiments import (
+    DelayTable,
+    ExcursionSweep,
+    HealingResult,
+    PAPER_FREQUENCY,
+    StuckAtResult,
+    fig2_stuck_at,
+    fig4_healing,
+    fig5_excursion,
+    table1_delays,
+    table2_delays,
+)
+from .detector_experiments import (
+    DetectorResponse,
+    DetectorSweep,
+    HysteresisResult,
+    LoadSharingResult,
+    fig7_detector_response,
+    fig8_variant1_sweep,
+    fig10_variant2_sweep,
+    fig12_hysteresis,
+    fig14_load_sharing,
+)
+from .method_experiments import (
+    AreaStudy,
+    CoverageStudy,
+    ToggleStudy,
+    dc_fault_coverage,
+    section65_area,
+    section66_toggle_study,
+)
+from .reporting import format_series, format_table, nanoseconds, picoseconds
+from .variation import (
+    EscapeStudy,
+    chain_delay,
+    delay_escape_study,
+    perturb_chain,
+    slow_down_stage,
+)
+
+__all__ = [
+    "PAPER_FREQUENCY",
+    "fig2_stuck_at",
+    "StuckAtResult",
+    "fig4_healing",
+    "HealingResult",
+    "table1_delays",
+    "table2_delays",
+    "DelayTable",
+    "fig5_excursion",
+    "ExcursionSweep",
+    "fig7_detector_response",
+    "DetectorResponse",
+    "fig8_variant1_sweep",
+    "fig10_variant2_sweep",
+    "DetectorSweep",
+    "fig12_hysteresis",
+    "HysteresisResult",
+    "fig14_load_sharing",
+    "LoadSharingResult",
+    "section65_area",
+    "AreaStudy",
+    "section66_toggle_study",
+    "ToggleStudy",
+    "dc_fault_coverage",
+    "CoverageStudy",
+    "delay_escape_study",
+    "EscapeStudy",
+    "perturb_chain",
+    "slow_down_stage",
+    "chain_delay",
+    "format_table",
+    "format_series",
+    "picoseconds",
+    "nanoseconds",
+]

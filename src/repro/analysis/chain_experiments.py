@@ -1,0 +1,370 @@
+"""Experiments on the Fig. 3 buffer chain: Figs. 2, 4, 5 and Tables 1-2.
+
+Every function builds its circuits from scratch, runs the analog engine
+and returns a small result object whose fields mirror the paper's rows;
+``format()`` renders the same table/series the paper prints.  The
+benchmarks in ``benchmarks/`` call these with reduced sweeps; pass the
+paper-scale parameters for a full reproduction (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..cml.chain import BufferChain, buffer_chain
+from ..cml.technology import CmlTechnology, NOMINAL
+from ..faults.defects import Pipe, TerminalShort
+from ..faults.injector import inject
+from ..sim.sweep import run_cycles
+from ..sim.transient import TransientResult
+from ..sim.waveform import Waveform, differential_crossings
+from .reporting import format_series, format_table, picoseconds
+
+#: Default stimulus frequency of the paper's chain experiments.
+PAPER_FREQUENCY = 100e6
+
+
+def _settled_window(result: TransientResult, frequency: float,
+                    periods: float = 1.5) -> Tuple[float, float]:
+    """A measurement window covering the last ``periods`` stimulus cycles."""
+    t_stop = float(result.times[-1])
+    return (t_stop - periods / frequency, t_stop)
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — stuck-at fault from a C-E short on Q2
+# ----------------------------------------------------------------------
+@dataclass
+class StuckAtResult:
+    """Fig. 2: faulty buffer waveforms with op stuck at logic 0."""
+
+    frequency: float
+    op_levels: Tuple[float, float]
+    opb_levels: Tuple[float, float]
+    op_swing: float
+    opb_swing: float
+    stuck_at_zero: bool
+    waves: Dict[str, Waveform] = field(repr=False, default_factory=dict)
+
+    def format(self) -> str:
+        rows = [
+            ["opf (stuck)", self.op_levels[0], self.op_levels[1],
+             self.op_swing],
+            ["opbf", self.opb_levels[0], self.opb_levels[1],
+             self.opb_swing],
+        ]
+        verdict = "stuck-at-0" if self.stuck_at_zero else "NOT stuck"
+        return format_table(
+            ["signal", "vlow (V)", "vhigh (V)", "swing (V)"], rows,
+            title=f"Fig. 2 — C-E short on Q2: output {verdict}")
+
+
+def fig2_stuck_at(tech: CmlTechnology = NOMINAL,
+                  frequency: float = PAPER_FREQUENCY,
+                  cycles: float = 2.5,
+                  points_per_cycle: int = 400) -> StuckAtResult:
+    """Reproduce Fig. 2: a collector-emitter short on Q2 of the DUT maps
+    into an output stuck-at-0 fault."""
+    chain = buffer_chain(tech, frequency=frequency)
+    faulty = inject(chain.circuit, TerminalShort("DUT.Q2", "c", "e"))
+    result = run_cycles(faulty, frequency, cycles=cycles,
+                        points_per_cycle=points_per_cycle)
+    window = _settled_window(result, frequency)
+    op = result.wave("op").window(*window)
+    opb = result.wave("opb").window(*window)
+    stuck = (op.extreme_swing() < 0.3 * tech.swing
+             and op.maximum() < tech.vlow + 0.05)
+    return StuckAtResult(
+        frequency=frequency,
+        op_levels=op.levels(), opb_levels=opb.levels(),
+        op_swing=op.swing(), opb_swing=opb.swing(),
+        stuck_at_zero=stuck,
+        waves={"af": result.wave("a"), "abf": result.wave("ab"),
+               "opf": result.wave("op"), "opbf": result.wave("opb")})
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — swing doubling at the DUT and healing downstream
+# ----------------------------------------------------------------------
+@dataclass
+class HealingResult:
+    """Fig. 4: per-stage swing/levels for fault-free vs piped chains."""
+
+    pipe_resistance: float
+    frequency: float
+    stage_names: List[str]
+    ff_swing: List[float]
+    faulty_swing: List[float]
+    ff_vlow: List[float]
+    faulty_vlow: List[float]
+
+    @property
+    def dut_swing_ratio(self) -> float:
+        """Faulty/fault-free swing at the DUT output (paper: ~2x)."""
+        index = self.stage_names.index("op")
+        return self.faulty_swing[index] / self.ff_swing[index]
+
+    def healed_by(self, tolerance: float = 0.05) -> Optional[str]:
+        """First stage past the DUT whose swing is back within tolerance."""
+        dut = self.stage_names.index("op")
+        for index in range(dut + 1, len(self.stage_names)):
+            if abs(self.faulty_swing[index] - self.ff_swing[index]) <= (
+                    tolerance * self.ff_swing[index]):
+                return self.stage_names[index]
+        return None
+
+    def format(self) -> str:
+        rows = []
+        for i, name in enumerate(self.stage_names):
+            rows.append([name, self.ff_swing[i], self.faulty_swing[i],
+                         self.ff_vlow[i], self.faulty_vlow[i]])
+        title = (f"Fig. 4 — {self.pipe_resistance:g} Ohm pipe on DUT.Q3: "
+                 f"DUT swing x{self.dut_swing_ratio:.2f}, "
+                 f"healed by {self.healed_by()}")
+        return format_table(
+            ["stage", "FF swing", "pipe swing", "FF vlow", "pipe vlow"],
+            rows, title=title)
+
+
+def fig4_healing(tech: CmlTechnology = NOMINAL, pipe_resistance: float = 4e3,
+                 frequency: float = PAPER_FREQUENCY, cycles: float = 2.5,
+                 points_per_cycle: int = 400) -> HealingResult:
+    """Reproduce Fig. 4: the excessive swing at the piped DUT is fully
+    restored a few stages downstream."""
+    chain = buffer_chain(tech, frequency=frequency)
+    faulty = inject(chain.circuit, Pipe("DUT.Q3", pipe_resistance))
+    ff_result = run_cycles(chain.circuit, frequency, cycles=cycles,
+                           points_per_cycle=points_per_cycle)
+    faulty_result = run_cycles(faulty, frequency, cycles=cycles,
+                               points_per_cycle=points_per_cycle)
+    window = _settled_window(ff_result, frequency)
+
+    names, ff_swing, faulty_swing, ff_vlow, faulty_vlow = [], [], [], [], []
+    for net, _ in chain.output_nets:
+        names.append(net)
+        ff_wave = ff_result.wave(net).window(*window)
+        faulty_wave = faulty_result.wave(net).window(*window)
+        ff_swing.append(ff_wave.extreme_swing())
+        faulty_swing.append(faulty_wave.extreme_swing())
+        ff_vlow.append(ff_wave.minimum())
+        faulty_vlow.append(faulty_wave.minimum())
+    return HealingResult(pipe_resistance=pipe_resistance,
+                         frequency=frequency, stage_names=names,
+                         ff_swing=ff_swing, faulty_swing=faulty_swing,
+                         ff_vlow=ff_vlow, faulty_vlow=faulty_vlow)
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 2 — delay measurements
+# ----------------------------------------------------------------------
+@dataclass
+class DelayTable:
+    """Cumulative edge-arrival times along the chain (seconds).
+
+    ``op_row``/``opb_row`` are measured on the positive/complement outputs
+    respectively, relative to the reference input edge (index 0 = va).
+    """
+
+    taps: List[str]
+    ff_op: List[Optional[float]]
+    ff_opb: List[Optional[float]]
+    pipe_op: List[Optional[float]]
+    pipe_opb: List[Optional[float]]
+    pipe_resistance: float
+    crossing: str  # "fixed" (Table 1) or "actual" (Table 2)
+
+    def delta_op(self) -> List[Optional[float]]:
+        return [None if (a is None or b is None) else b - a
+                for a, b in zip(self.ff_op, self.pipe_op)]
+
+    def delta_opb(self) -> List[Optional[float]]:
+        return [None if (a is None or b is None) else b - a
+                for a, b in zip(self.ff_opb, self.pipe_opb)]
+
+    def stage_delays(self, row: Sequence[Optional[float]]
+                     ) -> List[Optional[float]]:
+        """Per-stage incremental delays from a cumulative row."""
+        deltas: List[Optional[float]] = []
+        for previous, current in zip(row, row[1:]):
+            if previous is None or current is None:
+                deltas.append(None)
+            else:
+                deltas.append(current - previous)
+        return deltas
+
+    def nominal_stage_delay(self) -> float:
+        """Median fault-free per-stage delay (the paper's ~53 ps)."""
+        deltas = [d for d in self.stage_delays(self.ff_op)[1:]
+                  if d is not None]
+        deltas.sort()
+        return deltas[len(deltas) // 2]
+
+    def max_delta_at_dut(self) -> float:
+        """Largest |Δt| over both rows at the DUT tap."""
+        index = self.taps.index("op")
+        candidates = [self.delta_op()[index], self.delta_opb()[index]]
+        return max(abs(c) for c in candidates if c is not None)
+
+    def final_delta(self) -> float:
+        """Largest |Δt| at the last measured tap (healing check)."""
+        candidates = [self.delta_op()[-1], self.delta_opb()[-1]]
+        return max(abs(c) for c in candidates if c is not None)
+
+    def format(self) -> str:
+        headers = ["row"] + self.taps
+        rows = [
+            ["FF op (ps)"] + [picoseconds(v) for v in self.ff_op],
+            ["FF opb (ps)"] + [picoseconds(v) for v in self.ff_opb],
+            ["Pipe op (ps)"] + [picoseconds(v) for v in self.pipe_op],
+            ["Pipe opb (ps)"] + [picoseconds(v) for v in self.pipe_opb],
+            ["dt op (ps)"] + [picoseconds(v) for v in self.delta_op()],
+            ["dt opb (ps)"] + [picoseconds(v) for v in self.delta_opb()],
+        ]
+        which = "Table 1 (fixed crossing)" if self.crossing == "fixed" \
+            else "Table 2 (actual crossing)"
+        return format_table(headers, rows, title=(
+            f"{which} — {self.pipe_resistance:g} Ohm pipe on DUT.Q3"))
+
+
+def _edge_times(result: TransientResult, chain: BufferChain,
+                crossing: str, tech: CmlTechnology,
+                frequency: float) -> Tuple[List[Optional[float]],
+                                           List[Optional[float]]]:
+    """Cumulative rising-edge (op) and falling-edge (opb) arrival times.
+
+    The reference edge is the input's rising crossing in the second
+    stimulus cycle (the first is warm-up).
+    """
+    t_after = 1.2 / frequency
+    va, vab = result.wave("va"), result.wave("vab")
+    if crossing == "fixed":
+        t_ref = va.first_crossing(tech.vmid, "rise", after=t_after)
+    else:
+        refs = differential_crossings(va, vab, "rise", after=t_after)
+        t_ref = refs[0] if refs else None
+    if t_ref is None:
+        raise RuntimeError("no reference input edge found")
+
+    op_row: List[Optional[float]] = [0.0]
+    opb_row: List[Optional[float]] = [0.0]
+    horizon = 0.45 / frequency  # an edge must arrive within half a period
+    for net_p, net_n in chain.output_nets:
+        wave_p, wave_n = result.wave(net_p), result.wave(net_n)
+        if crossing == "fixed":
+            t_p = wave_p.first_crossing(tech.vmid, "rise", after=t_ref)
+            t_n = wave_n.first_crossing(tech.vmid, "fall", after=t_ref)
+        else:
+            ups = differential_crossings(wave_p, wave_n, "rise",
+                                         after=t_ref)
+            t_p = ups[0] if ups else None
+            downs = differential_crossings(wave_n, wave_p, "fall",
+                                           after=t_ref)
+            t_n = downs[0] if downs else None
+        op_row.append(None if t_p is None or t_p - t_ref > horizon
+                      else t_p - t_ref)
+        opb_row.append(None if t_n is None or t_n - t_ref > horizon
+                       else t_n - t_ref)
+    return op_row, opb_row
+
+
+def _delay_table(tech: CmlTechnology, pipe_resistance: float,
+                 frequency: float, crossing: str,
+                 points_per_cycle: int) -> DelayTable:
+    chain = buffer_chain(tech, frequency=frequency)
+    faulty = inject(chain.circuit, Pipe("DUT.Q3", pipe_resistance))
+    ff_result = run_cycles(chain.circuit, frequency, cycles=2.5,
+                           points_per_cycle=points_per_cycle)
+    faulty_result = run_cycles(faulty, frequency, cycles=2.5,
+                               points_per_cycle=points_per_cycle)
+    ff_op, ff_opb = _edge_times(ff_result, chain, crossing, tech, frequency)
+    pipe_op, pipe_opb = _edge_times(faulty_result, chain, crossing, tech,
+                                    frequency)
+    taps = ["va"] + [p for p, _ in chain.output_nets]
+    return DelayTable(taps=taps, ff_op=ff_op, ff_opb=ff_opb,
+                      pipe_op=pipe_op, pipe_opb=pipe_opb,
+                      pipe_resistance=pipe_resistance, crossing=crossing)
+
+
+def table1_delays(tech: CmlTechnology = NOMINAL,
+                  pipe_resistance: float = 4e3,
+                  frequency: float = PAPER_FREQUENCY,
+                  points_per_cycle: int = 2000) -> DelayTable:
+    """Table 1: delays measured at the *fixed* nominal crossing voltage.
+
+    The pipe shows up as a large, asymmetric local delay anomaly at the
+    DUT that heals to ~nothing at the chain output."""
+    return _delay_table(tech, pipe_resistance, frequency, "fixed",
+                        points_per_cycle)
+
+
+def table2_delays(tech: CmlTechnology = NOMINAL,
+                  pipe_resistance: float = 4e3,
+                  frequency: float = PAPER_FREQUENCY,
+                  points_per_cycle: int = 2000) -> DelayTable:
+    """Table 2: delays measured at the *actual* differential crossing.
+
+    Even at the DUT the differences are modest — the defect is not
+    reliably delay-testable."""
+    return _delay_table(tech, pipe_resistance, frequency, "actual",
+                        points_per_cycle)
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — Vlow/Vhigh vs pipe value and frequency
+# ----------------------------------------------------------------------
+@dataclass
+class ExcursionSweep:
+    """Fig. 5: DUT output extremes across frequency, per pipe value."""
+
+    frequencies: List[float]
+    pipe_values: List[Optional[float]]  # None = fault-free reference
+    vlow: Dict[Optional[float], List[float]]
+    vhigh: Dict[Optional[float], List[float]]
+
+    def series(self, pipe: Optional[float]) -> List[Tuple[float, float]]:
+        return list(zip(self.frequencies, self.vlow[pipe]))
+
+    def format(self) -> str:
+        parts = []
+        for pipe in self.pipe_values:
+            label = "fault-free" if pipe is None else f"{pipe:g} Ohm pipe"
+            rows = list(zip(self.frequencies, self.vlow[pipe],
+                            self.vhigh[pipe]))
+            parts.append(format_table(
+                ["freq (Hz)", "Vlow (V)", "Vhigh (V)"], rows,
+                title=f"Fig. 5 — {label}"))
+        return "\n\n".join(parts)
+
+
+def fig5_excursion(tech: CmlTechnology = NOMINAL,
+                   pipe_values: Sequence[Optional[float]] = (None, 1e3, 3e3, 5e3),
+                   frequencies: Sequence[float] = (100e6, 1e9, 2e9, 3e9),
+                   points_per_cycle: int = 300,
+                   cycles: float = 4.0) -> ExcursionSweep:
+    """Reproduce Fig. 5: the low excursion shrinks as the pipe resistance
+    and the stimulus frequency grow.
+
+    Levels are the plateau medians (as a level-sensing tester would read
+    them), so the high-frequency roll-off of the excursion — the paper's
+    "parametric disturbance becomes almost undetectable" — shows up as
+    converging Vlow/Vhigh curves.
+    """
+    vlow: Dict[Optional[float], List[float]] = {p: [] for p in pipe_values}
+    vhigh: Dict[Optional[float], List[float]] = {p: [] for p in pipe_values}
+    for frequency in frequencies:
+        chain = buffer_chain(tech, frequency=frequency)
+        for pipe in pipe_values:
+            circuit = chain.circuit
+            if pipe is not None:
+                circuit = inject(circuit, Pipe("DUT.Q3", pipe))
+            result = run_cycles(circuit, frequency, cycles=cycles,
+                                points_per_cycle=points_per_cycle)
+            window = _settled_window(result, frequency, periods=2.0)
+            level_low, level_high = result.wave("op").window(*window).levels()
+            vlow[pipe].append(level_low)
+            vhigh[pipe].append(level_high)
+    return ExcursionSweep(frequencies=list(frequencies),
+                          pipe_values=list(pipe_values),
+                          vlow=vlow, vhigh=vhigh)

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benches print the same rows/series the paper reports; these helpers
+keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    def render(cell: Any) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, points: Sequence[Tuple[Any, Any]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    lines = [f"{name}  [{x_label} -> {y_label}]"]
+    for x, y in points:
+        x_text = f"{x:.4g}" if isinstance(x, float) else str(x)
+        y_text = f"{y:.4g}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x_text:>12}  {y_text:>12}")
+    return "\n".join(lines)
+
+
+def picoseconds(seconds: Optional[float]) -> Optional[float]:
+    """Seconds → picoseconds (None passes through)."""
+    return None if seconds is None else seconds * 1e12
+
+
+def nanoseconds(seconds: Optional[float]) -> Optional[float]:
+    """Seconds → nanoseconds (None passes through)."""
+    return None if seconds is None else seconds * 1e9

@@ -1,0 +1,231 @@
+"""Flat netlist representation used by the whole package.
+
+A :class:`Circuit` is an ordered collection of named :class:`Component`
+instances, each of which maps *terminal names* (``"p"``, ``"n"``, ``"b"``,
+``"c"``, ``"e"`` ...) to *net names*.  Net ``"0"`` is the global ground
+reference.
+
+Keeping the terminal → net mapping explicit (rather than positional node
+lists) is what makes the fault-injection machinery in :mod:`repro.faults`
+simple: a *pipe* adds a resistor between two existing terminals' nets, and
+an *open* rewires a single terminal onto a fresh net (see
+:meth:`Circuit.split_terminal`).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+GROUND = "0"
+
+
+class Component:
+    """Base class for all circuit elements.
+
+    Subclasses declare their terminals by passing a ``terminals`` mapping of
+    terminal name → net name.  The simulation engine discovers behaviour via
+    the hook methods below; the defaults describe an element that stamps
+    nothing (useful for annotations).
+    """
+
+    def __init__(self, name: str, terminals: Dict[str, str]):
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.name = name
+        self.terminals: Dict[str, str] = dict(terminals)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def nets(self) -> List[str]:
+        """Nets touched by this component, in terminal-declaration order."""
+        return list(self.terminals.values())
+
+    def net(self, terminal: str) -> str:
+        """Net currently attached to ``terminal``."""
+        try:
+            return self.terminals[terminal]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: unknown terminal {terminal!r} "
+                f"(has {sorted(self.terminals)})"
+            ) from None
+
+    def rewire(self, terminal: str, net: str) -> None:
+        """Reattach ``terminal`` to ``net`` (used by fault injection)."""
+        self.net(terminal)  # validate terminal exists
+        self.terminals[terminal] = net
+
+    # ------------------------------------------------------------------
+    # Engine hooks (overridden by concrete elements)
+    # ------------------------------------------------------------------
+    def is_branch(self) -> bool:
+        """True when the element needs an MNA branch-current unknown."""
+        return False
+
+    def is_nonlinear(self) -> bool:
+        """True when the element must be re-stamped on each NR iteration."""
+        return False
+
+    def stamp_linear(self, stamper, t: float) -> None:
+        """Stamp time-invariant linear contributions (and sources at ``t``)."""
+
+    def stamp_nonlinear(self, stamper, voltages) -> None:
+        """Stamp the linearisation around the NR iterate ``voltages``.
+
+        ``voltages`` is a callable net → volts for the current iterate.
+        """
+
+    def dynamic_elements(self) -> List[Tuple[str, str, str, float]]:
+        """Charge-storage declaration: ``(key, net+, net-, capacitance)``.
+
+        The transient engine turns each entry into a companion model; DC
+        analysis ignores them (capacitors are open at DC).
+        """
+        return []
+
+    def junctions(self) -> List[Tuple[str, str, float]]:
+        """PN junctions as ``(net+, net-, vcrit)`` for NR voltage limiting."""
+        return []
+
+    def operating_info(self, voltages, branch_current: Optional[float]) -> Dict[str, float]:
+        """Small-signal/operating info for reports (best effort)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pins = ", ".join(f"{t}={n}" for t, n in self.terminals.items())
+        return f"<{type(self).__name__} {self.name} ({pins})>"
+
+
+class Circuit:
+    """A mutable, flat netlist.
+
+    Components are stored in insertion order under unique names.  Hierarchy
+    is handled by :mod:`repro.circuit.subcircuit`, which flattens instances
+    into the parent with ``"inst."`` name prefixes, so every fault site in a
+    full design is addressable from the top level (e.g. ``"DUT.Q3"``).
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._components: Dict[str, Component] = {}
+        self._split_counter = 0
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Add ``component``; its name must be unique within the circuit."""
+        if component.name in self._components:
+            raise ValueError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def remove(self, name: str) -> Component:
+        """Remove and return the component called ``name``."""
+        try:
+            return self._components.pop(name)
+        except KeyError:
+            raise KeyError(f"no component named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise KeyError(f"no component named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def components(self) -> List[Component]:
+        """Components in insertion order."""
+        return list(self._components.values())
+
+    def components_of_type(self, cls) -> List[Component]:
+        """All components that are instances of ``cls``."""
+        return [c for c in self if isinstance(c, cls)]
+
+    # ------------------------------------------------------------------
+    # Net queries
+    # ------------------------------------------------------------------
+    def nets(self) -> List[str]:
+        """All nets including ground, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for component in self:
+            for net in component.nets():
+                seen.setdefault(net, None)
+        return list(seen)
+
+    def unknown_nets(self) -> List[str]:
+        """Nets that get an MNA voltage unknown (everything but ground)."""
+        return [n for n in self.nets() if n != GROUND]
+
+    def components_on_net(self, net: str) -> List[Tuple[Component, str]]:
+        """``(component, terminal)`` pairs attached to ``net``."""
+        attached = []
+        for component in self:
+            for terminal, terminal_net in component.terminals.items():
+                if terminal_net == net:
+                    attached.append((component, terminal))
+        return attached
+
+    # ------------------------------------------------------------------
+    # Mutation used by fault injection
+    # ------------------------------------------------------------------
+    def split_terminal(self, component_name: str, terminal: str) -> Tuple[str, str]:
+        """Detach one terminal onto a fresh net.
+
+        Returns ``(old_net, new_net)``.  The caller is responsible for
+        re-linking the two nets (e.g. with the paper's 100 MΩ ∥ 1 fF open
+        model, see :mod:`repro.faults.defects`).
+        """
+        component = self[component_name]
+        old_net = component.net(terminal)
+        self._split_counter += 1
+        new_net = f"{old_net}#open{self._split_counter}"
+        component.rewire(terminal, new_net)
+        return old_net, new_net
+
+    def merge_nets(self, keep: str, remove: str) -> None:
+        """Rewire every terminal on ``remove`` to ``keep`` (hard short)."""
+        for component, terminal in self.components_on_net(remove):
+            component.rewire(terminal, keep)
+
+    def copy(self) -> "Circuit":
+        """Deep copy; fault injection always works on a copy."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Return a list of human-readable topology warnings.
+
+        Checks for nets with a single connection (dangling) and for the
+        absence of a ground reference.  An empty list means no warnings.
+        """
+        warnings = []
+        nets = self.nets()
+        if GROUND not in nets:
+            warnings.append("circuit has no ground net '0'")
+        for net in nets:
+            if net == GROUND:
+                continue
+            if len(self.components_on_net(net)) < 2:
+                warnings.append(f"net {net!r} has fewer than two connections")
+        return warnings
+
+    def summary(self) -> str:
+        """One-line inventory, e.g. ``'12 components, 9 nets'``."""
+        return f"{len(self)} components, {len(self.nets())} nets"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Circuit {self.title!r}: {self.summary()}>"

@@ -1,0 +1,240 @@
+"""Time-domain waveform descriptions for independent sources.
+
+These are deliberately plain callables-with-metadata rather than SPICE
+strings: each waveform exposes ``value(t)`` (instantaneous value) and
+``dc()`` (value used for the operating point).  The CML experiments in the
+paper drive chains with differential square/sine waves at 100 MHz - 2 GHz;
+:class:`Pulse` and :class:`Sine` cover those, :class:`Pwl` covers the
+quasi-static ramps used to trace the comparator hysteresis (Fig. 12), and
+:class:`Prbs` provides the pseudorandom stimulus of section 6.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class Waveform:
+    """Base class: a scalar function of time with a defined DC value."""
+
+    def value(self, t: float) -> float:
+        """Instantaneous value at time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def dc(self) -> float:
+        """Value assumed during DC operating-point analysis."""
+        return self.value(0.0)
+
+    def breakpoints(self, t_stop: float) -> List[float]:
+        """Times where the waveform has slope discontinuities (corners).
+
+        The transient engine aligns steps to these to avoid smearing edges.
+        """
+        return []
+
+
+class Dc(Waveform):
+    """Constant value."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"Dc({self.level})"
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse.
+
+    Starts at ``v1``, after ``delay`` ramps to ``v2`` in ``rise`` seconds,
+    stays for ``width``, ramps back in ``fall``, and repeats every
+    ``period`` (0 disables repetition).
+    """
+
+    def __init__(self, v1: float, v2: float, delay: float = 0.0,
+                 rise: float = 1e-12, fall: float = 1e-12,
+                 width: float = 0.5e-9, period: float = 0.0):
+        if rise <= 0 or fall <= 0:
+            raise ValueError("rise/fall times must be positive")
+        if width < 0:
+            raise ValueError("pulse width must be non-negative")
+        if period and period < rise + width + fall:
+            raise ValueError("period shorter than rise+width+fall")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def value(self, t: float) -> float:
+        t = t - self.delay
+        if t < 0:
+            return self.v1
+        if self.period > 0:
+            t = math.fmod(t, self.period)
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall
+        return self.v1
+
+    def dc(self) -> float:
+        return self.v1
+
+    def breakpoints(self, t_stop: float) -> List[float]:
+        corners = [0.0, self.rise, self.rise + self.width,
+                   self.rise + self.width + self.fall]
+        points: List[float] = []
+        cycle_start = self.delay
+        while cycle_start < t_stop:
+            points.extend(cycle_start + c for c in corners)
+            if not self.period:
+                break
+            cycle_start += self.period
+        return [p for p in points if 0.0 < p < t_stop]
+
+    @classmethod
+    def square(cls, v1: float, v2: float, frequency: float,
+               edge_fraction: float = 0.05, delay: float = 0.0) -> "Pulse":
+        """A 50 % duty square wave at ``frequency`` with edges taking
+        ``edge_fraction`` of the period each (default 5 %)."""
+        period = 1.0 / frequency
+        edge = edge_fraction * period
+        width = period / 2.0 - edge
+        return cls(v1, v2, delay=delay, rise=edge, fall=edge,
+                   width=width, period=period)
+
+
+class Sine(Waveform):
+    """``offset + amplitude * sin(2*pi*frequency*(t-delay) + phase)``.
+
+    Before ``delay`` the output sits at the ``t = delay`` value.
+    """
+
+    def __init__(self, offset: float, amplitude: float, frequency: float,
+                 delay: float = 0.0, phase: float = 0.0):
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.delay = float(delay)
+        self.phase = float(phase)
+
+    def value(self, t: float) -> float:
+        t = max(t, self.delay)
+        angle = 2.0 * math.pi * self.frequency * (t - self.delay) + self.phase
+        return self.offset + self.amplitude * math.sin(angle)
+
+    def dc(self) -> float:
+        return self.value(self.delay)
+
+
+class Pwl(Waveform):
+    """Piece-wise linear waveform from ``(time, value)`` points.
+
+    Values before the first point / after the last point are held constant.
+    Used for the quasi-static hysteresis ramp of Fig. 12.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("PWL needs at least two points")
+        times = [p[0] for p in points]
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self.points = [(float(t), float(v)) for t, v in points]
+
+    def value(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t1, v1), (t2, v2) in zip(points, points[1:]):
+            if t1 <= t <= t2:
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def dc(self) -> float:
+        return self.points[0][1]
+
+    def breakpoints(self, t_stop: float) -> List[float]:
+        return [t for t, _ in self.points if 0.0 < t < t_stop]
+
+
+class Prbs(Waveform):
+    """Pseudorandom binary sequence with trapezoidal edges.
+
+    Bits come from a maximal-length LFSR (default polynomial x^7+x^6+1) so
+    runs are reproducible; this is the "random pattern" stimulus the paper
+    recommends for sequential toggle testing (section 6.6).
+    """
+
+    _TAPS = {7: (7, 6), 15: (15, 14), 23: (23, 18), 31: (31, 28)}
+
+    def __init__(self, v1: float, v2: float, bit_period: float,
+                 edge: float | None = None, order: int = 7, seed: int = 1):
+        if order not in self._TAPS:
+            raise ValueError(f"unsupported LFSR order {order}; "
+                             f"choose from {sorted(self._TAPS)}")
+        if seed <= 0 or seed >= (1 << order):
+            raise ValueError("seed must be a nonzero LFSR state")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.bit_period = float(bit_period)
+        self.edge = float(edge) if edge is not None else 0.05 * bit_period
+        self.order = order
+        self.seed = seed
+        self._bits = self._generate_bits()
+
+    def _generate_bits(self) -> List[int]:
+        t1, t2 = self._TAPS[self.order]
+        state = self.seed
+        length = (1 << self.order) - 1
+        bits = []
+        for _ in range(length):
+            bits.append(state & 1)
+            # Right-shift Fibonacci form: tap t reads bit (order - t).
+            feedback = ((state >> (self.order - t1))
+                        ^ (state >> (self.order - t2))) & 1
+            state = (state >> 1) | (feedback << (self.order - 1))
+        return bits
+
+    def bit(self, index: int) -> int:
+        """The LFSR bit driven during bit slot ``index`` (periodic)."""
+        return self._bits[index % len(self._bits)]
+
+    def value(self, t: float) -> float:
+        if t <= 0:
+            return self.v1 if self._bits[0] == 0 else self.v2
+        index = int(t / self.bit_period)
+        phase = t - index * self.bit_period
+        current = self.v2 if self.bit(index) else self.v1
+        if phase >= self.edge or index == 0:
+            return current
+        previous = self.v2 if self.bit(index - 1) else self.v1
+        return previous + (current - previous) * phase / self.edge
+
+    def dc(self) -> float:
+        return self.value(0.0)
+
+    def breakpoints(self, t_stop: float) -> List[float]:
+        points = []
+        index = 1
+        while index * self.bit_period < t_stop:
+            if self.bit(index) != self.bit(index - 1):
+                start = index * self.bit_period
+                points.extend([start, min(start + self.edge, t_stop)])
+            index += 1
+        return points

@@ -1,0 +1,148 @@
+"""SPICE netlist export.
+
+Writes any :class:`~repro.circuit.netlist.Circuit` as a SPICE deck so the
+reproduction's netlists can be cross-checked in ngspice/Xyce/Spectre.
+Device models are emitted as ``.model`` cards (one per distinct parameter
+set); hierarchical names are flattened with underscores since classic
+SPICE node/instance names cannot contain dots.
+
+This is an export-only module: the package builds circuits through the
+Python API, which stays the single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..units import format_value
+from .components import Capacitor, CurrentSource, Resistor, VoltageSource
+from .devices import Bjt, Diode, MultiEmitterBjt
+from .netlist import Circuit, Component
+from .sources import Dc, Prbs, Pulse, Pwl, Sine, Waveform
+
+
+def _sanitize(name: str) -> str:
+    """SPICE-legal identifier: dots and '#' become underscores."""
+    return name.replace(".", "_").replace("#", "_")
+
+
+def _net(name: str) -> str:
+    return "0" if name == "0" else _sanitize(name)
+
+
+def _source_spec(waveform: Waveform) -> str:
+    """SPICE source specification for a waveform."""
+    if isinstance(waveform, Dc):
+        return f"DC {waveform.level:g}"
+    if isinstance(waveform, Pulse):
+        return (f"DC {waveform.v1:g} PULSE({waveform.v1:g} {waveform.v2:g} "
+                f"{waveform.delay:g} {waveform.rise:g} {waveform.fall:g} "
+                f"{waveform.width:g} {waveform.period:g})")
+    if isinstance(waveform, Sine):
+        return (f"DC {waveform.dc():g} SIN({waveform.offset:g} "
+                f"{waveform.amplitude:g} {waveform.frequency:g} "
+                f"{waveform.delay:g} 0 "
+                f"{waveform.phase * 180.0 / 3.141592653589793:g})")
+    if isinstance(waveform, Pwl):
+        points = " ".join(f"{t:g} {v:g}" for t, v in waveform.points)
+        return f"PWL({points})"
+    if isinstance(waveform, Prbs):
+        # Expand one LFSR period into a PWL description.
+        points: List[str] = [f"0 {waveform.value(0.0):g}"]
+        t_stop = len(waveform._bits) * waveform.bit_period
+        step = waveform.bit_period
+        for index in range(1, len(waveform._bits)):
+            t = index * step
+            points.append(f"{t:g} {waveform.value(t - 1e-15):g}")
+            points.append(f"{t + waveform.edge:g} "
+                          f"{waveform.value(t + waveform.edge):g}")
+        return f"PWL({' '.join(points)})"
+    raise TypeError(f"cannot export waveform type {type(waveform).__name__}")
+
+
+class _ModelRegistry:
+    """Deduplicates ``.model`` cards by parameter tuple."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._models: Dict[Tuple, str] = {}
+
+    def name_for(self, params: Tuple) -> str:
+        if params not in self._models:
+            self._models[params] = f"{self.prefix}{len(self._models)}"
+        return self._models[params]
+
+    def cards(self, kind: str, fields: List[str]) -> List[str]:
+        cards = []
+        for params, name in self._models.items():
+            body = " ".join(f"{field}={value:g}"
+                            for field, value in zip(fields, params))
+            cards.append(f".model {name} {kind}({body})")
+        return cards
+
+
+def to_spice(circuit: Circuit, title: str = "") -> str:
+    """Render ``circuit`` as a SPICE deck string."""
+    lines: List[str] = [f"* {title or circuit.title or 'repro export'}"]
+    npn_models = _ModelRegistry("QMOD")
+    diode_models = _ModelRegistry("DMOD")
+
+    body: List[str] = []
+    for component in circuit:
+        name = _sanitize(component.name)
+        if isinstance(component, Resistor):
+            body.append(f"R_{name} {_net(component.net('p'))} "
+                        f"{_net(component.net('n'))} "
+                        f"{component.resistance:g}")
+        elif isinstance(component, Capacitor):
+            suffix = ""
+            if component.ic is not None:
+                suffix = f" IC={component.ic:g}"
+            body.append(f"C_{name} {_net(component.net('p'))} "
+                        f"{_net(component.net('n'))} "
+                        f"{component.capacitance:g}{suffix}")
+        elif isinstance(component, VoltageSource):
+            body.append(f"V_{name} {_net(component.net('p'))} "
+                        f"{_net(component.net('n'))} "
+                        f"{_source_spec(component.waveform)}")
+        elif isinstance(component, CurrentSource):
+            body.append(f"I_{name} {_net(component.net('p'))} "
+                        f"{_net(component.net('n'))} "
+                        f"{_source_spec(component.waveform)}")
+        elif isinstance(component, Diode):
+            model = diode_models.name_for(
+                (component.isat, component.nvt / 0.025852, component.cj))
+            body.append(f"D_{name} {_net(component.net('p'))} "
+                        f"{_net(component.net('n'))} {model}")
+        elif isinstance(component, MultiEmitterBjt):
+            # Classic SPICE has no multi-emitter primitive: emit one
+            # parallel transistor per emitter, sharing base/collector.
+            model = npn_models.name_for(
+                (component.isat, component.beta_f, component.beta_r,
+                 component.cje, component.cjc, 0.0))
+            for index, terminal in enumerate(component.emitter_terminals()):
+                body.append(f"Q_{name}_{index} {_net(component.net('c'))} "
+                            f"{_net(component.net('b'))} "
+                            f"{_net(component.net(terminal))} {model}")
+        elif isinstance(component, Bjt):
+            model = npn_models.name_for(
+                (component.isat, component.beta_f, component.beta_r,
+                 component.cje, component.cjc, component.vaf))
+            body.append(f"Q_{name} {_net(component.net('c'))} "
+                        f"{_net(component.net('b'))} "
+                        f"{_net(component.net('e'))} {model}")
+        else:
+            body.append(f"* unsupported component skipped: "
+                        f"{type(component).__name__} {name}")
+
+    lines.extend(body)
+    lines.extend(npn_models.cards("NPN", ["IS", "BF", "BR", "CJE", "CJC", "VAF"]))
+    lines.extend(diode_models.cards("D", ["IS", "N", "CJO"]))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice(circuit: Circuit, path: str, title: str = "") -> None:
+    """Write the SPICE deck for ``circuit`` to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_spice(circuit, title))

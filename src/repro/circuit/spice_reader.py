@@ -1,0 +1,210 @@
+"""SPICE netlist import (subset).
+
+Parses the deck dialect produced by :mod:`repro.circuit.spice` plus the
+common hand-written forms: R/C/V/I/D/Q element cards, ``.model`` cards
+for NPN and D devices, DC/PULSE/SIN/PWL sources, ``*`` comments, ``+``
+continuations and engineering suffixes.  Round-tripping a circuit through
+``to_spice`` → :func:`from_spice` preserves its electrical behaviour
+(see ``tests/test_spice_reader.py``).
+
+Unsupported cards raise :class:`SpiceParseError` with the line number —
+silent skipping would corrupt simulations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..units import parse_value
+from .components import Capacitor, CurrentSource, Resistor, VoltageSource
+from .devices import Bjt, Diode
+from .netlist import Circuit
+from .sources import Dc, Pulse, Pwl, Sine, Waveform
+
+
+class SpiceParseError(ValueError):
+    """A deck line could not be understood."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+def _join_continuations(text: str) -> List[Tuple[int, str]]:
+    """Strip comments, join '+' continuation lines; keep line numbers."""
+    logical: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("$", 1)[0].rstrip()
+        if not line or line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not logical:
+                raise SpiceParseError(number, raw,
+                                      "continuation before any card")
+            first_number, existing = logical[-1]
+            logical[-1] = (first_number,
+                           existing + " " + line.lstrip()[1:].strip())
+        else:
+            logical.append((number, line.strip()))
+    return logical
+
+
+_PAREN_RE = re.compile(r"(\w+)\s*\(([^)]*)\)")
+
+
+def _parse_source_spec(tokens: List[str], line_number: int,
+                       line: str) -> Waveform:
+    """Parse the value part of a V/I card into a waveform."""
+    spec = " ".join(tokens)
+    dc_value = 0.0
+    dc_match = re.search(r"\bdc\s+([^\s(]+)", spec, re.IGNORECASE)
+    if dc_match:
+        dc_value = parse_value(dc_match.group(1))
+    elif tokens and not _PAREN_RE.search(spec):
+        # Bare value: "V1 a 0 3.3"
+        try:
+            return Dc(parse_value(tokens[0]))
+        except ValueError:
+            raise SpiceParseError(line_number, line,
+                                  f"cannot parse source value {tokens[0]!r}")
+
+    func = _PAREN_RE.search(spec)
+    if func is None:
+        return Dc(dc_value)
+    name = func.group(1).lower()
+    args = [parse_value(a) for a in func.group(2).split()]
+    if name == "pulse":
+        args += [0.0] * (7 - len(args))
+        v1, v2, delay, rise, fall, width, period = args[:7]
+        return Pulse(v1, v2, delay=delay, rise=max(rise, 1e-15),
+                     fall=max(fall, 1e-15), width=width, period=period)
+    if name == "sin":
+        args += [0.0] * (6 - len(args))
+        offset, amplitude, frequency, delay, _damping, phase_deg = args[:6]
+        return Sine(offset, amplitude, frequency, delay=delay,
+                    phase=phase_deg * 3.141592653589793 / 180.0)
+    if name == "pwl":
+        pairs = list(zip(args[0::2], args[1::2]))
+        if len(pairs) < 2:
+            raise SpiceParseError(line_number, line, "PWL needs >= 2 points")
+        return Pwl(pairs)
+    raise SpiceParseError(line_number, line,
+                          f"unsupported source function {name!r}")
+
+
+def _parse_model_params(body: str) -> Dict[str, float]:
+    params = {}
+    for key, value in re.findall(r"(\w+)\s*=\s*([^\s,]+)", body):
+        params[key.lower()] = parse_value(value)
+    return params
+
+
+def from_spice(text: str, title: Optional[str] = None) -> Circuit:
+    """Parse a SPICE deck into a :class:`Circuit`.
+
+    The first line is treated as the title (SPICE convention) unless it
+    looks like an element card.  ``.end`` terminates parsing.
+    """
+    lines = _join_continuations(text)
+    circuit = Circuit(title=title or "")
+    if lines and not title:
+        first_number, first_line = lines[0]
+        starts_like_card = first_line[0].lower() in "rcvidq." and (
+            len(first_line.split()) >= 3 or first_line.startswith("."))
+        if not starts_like_card:
+            circuit.title = first_line.lstrip("* ").strip()
+            lines = lines[1:]
+
+    # First pass: collect models so element order doesn't matter.
+    models: Dict[str, Tuple[str, Dict[str, float]]] = {}
+    cards: List[Tuple[int, str]] = []
+    for number, line in lines:
+        lower = line.lower()
+        if lower == ".end":
+            break
+        if lower.startswith(".model"):
+            match = re.match(r"\.model\s+(\S+)\s+(\w+)\s*\(?(.*?)\)?\s*$",
+                             line, re.IGNORECASE)
+            if not match:
+                raise SpiceParseError(number, line, "malformed .model")
+            name, kind, body = match.groups()
+            models[name.lower()] = (kind.upper(), _parse_model_params(body))
+            continue
+        if lower.startswith("."):
+            raise SpiceParseError(number, line,
+                                  f"unsupported dot-card {line.split()[0]}")
+        cards.append((number, line))
+
+    def bjt_kwargs(params: Dict[str, float]) -> Dict[str, float]:
+        mapping = {"is": "isat", "bf": "beta_f", "br": "beta_r",
+                   "cje": "cje", "cjc": "cjc", "vaf": "vaf"}
+        return {target: params[source]
+                for source, target in mapping.items() if source in params}
+
+    def diode_kwargs(params: Dict[str, float]) -> Dict[str, float]:
+        result = {}
+        if "is" in params:
+            result["isat"] = params["is"]
+        if "n" in params:
+            result["n_ideality"] = params["n"]
+        if "cjo" in params:
+            result["cj"] = params["cjo"]
+        return result
+
+    for number, line in cards:
+        tokens = line.split()
+        name, kind = tokens[0], tokens[0][0].upper()
+        if kind == "R":
+            if len(tokens) < 4:
+                raise SpiceParseError(number, line, "R needs 2 nodes + value")
+            circuit.add(Resistor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3])))
+        elif kind == "C":
+            if len(tokens) < 4:
+                raise SpiceParseError(number, line, "C needs 2 nodes + value")
+            ic = None
+            for token in tokens[4:]:
+                match = re.match(r"ic=(.+)", token, re.IGNORECASE)
+                if match:
+                    ic = parse_value(match.group(1))
+            circuit.add(Capacitor(name, tokens[1], tokens[2],
+                                  parse_value(tokens[3]), ic=ic))
+        elif kind in ("V", "I"):
+            if len(tokens) < 4:
+                raise SpiceParseError(number, line,
+                                      f"{kind} needs 2 nodes + value")
+            waveform = _parse_source_spec(tokens[3:], number, line)
+            cls = VoltageSource if kind == "V" else CurrentSource
+            circuit.add(cls(name, tokens[1], tokens[2], waveform))
+        elif kind == "D":
+            if len(tokens) < 4:
+                raise SpiceParseError(number, line, "D needs 2 nodes + model")
+            model = models.get(tokens[3].lower())
+            if model is None or model[0] != "D":
+                raise SpiceParseError(number, line,
+                                      f"unknown diode model {tokens[3]!r}")
+            circuit.add(Diode(name, tokens[1], tokens[2],
+                              **diode_kwargs(model[1])))
+        elif kind == "Q":
+            if len(tokens) < 5:
+                raise SpiceParseError(number, line,
+                                      "Q needs c b e nodes + model")
+            model = models.get(tokens[4].lower())
+            if model is None or model[0] != "NPN":
+                raise SpiceParseError(number, line,
+                                      f"unknown NPN model {tokens[4]!r}")
+            circuit.add(Bjt(name, tokens[1], tokens[2], tokens[3],
+                            **bjt_kwargs(model[1])))
+        else:
+            raise SpiceParseError(number, line,
+                                  f"unsupported element kind {kind!r}")
+    return circuit
+
+
+def read_spice(path: str) -> Circuit:
+    """Parse a SPICE deck file."""
+    with open(path) as handle:
+        return from_spice(handle.read())

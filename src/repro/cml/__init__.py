@@ -1,0 +1,79 @@
+"""CML cell library and test-circuit builders (paper sections 2 and 5)."""
+
+from .cells import (
+    CELL_BUILDERS,
+    and2_cell,
+    buffer_cell,
+    dff_cell,
+    inverter_cell,
+    latch_cell,
+    level_shifter_cell,
+    mux2_cell,
+    or2_cell,
+    transistor_count,
+    xor2_cell,
+)
+from .chain import (
+    FIG3_INSTANCES,
+    FIG3_OUTPUTS,
+    BufferChain,
+    add_differential_source,
+    buffer_chain,
+    differential_prbs,
+    differential_sine,
+    differential_square,
+)
+from .calibration import (
+    CalibrationResult,
+    calibrate_delay,
+    characterize,
+    measure_stage_delay,
+)
+from .noise_margin import NoiseMargins, buffer_vtc, noise_margins
+from .oscillator import RingOscillator, measure_frequency, ring_oscillator
+from .technology import (
+    NOMINAL,
+    VCS_NET,
+    VEE_NET,
+    VGND_NET,
+    VTEST_NET,
+    CmlTechnology,
+)
+
+__all__ = [
+    "CmlTechnology",
+    "RingOscillator",
+    "characterize",
+    "calibrate_delay",
+    "CalibrationResult",
+    "measure_stage_delay",
+    "noise_margins",
+    "NoiseMargins",
+    "buffer_vtc",
+    "ring_oscillator",
+    "measure_frequency",
+    "NOMINAL",
+    "VGND_NET",
+    "VCS_NET",
+    "VEE_NET",
+    "VTEST_NET",
+    "buffer_cell",
+    "inverter_cell",
+    "level_shifter_cell",
+    "and2_cell",
+    "or2_cell",
+    "xor2_cell",
+    "mux2_cell",
+    "latch_cell",
+    "dff_cell",
+    "CELL_BUILDERS",
+    "transistor_count",
+    "buffer_chain",
+    "BufferChain",
+    "FIG3_INSTANCES",
+    "FIG3_OUTPUTS",
+    "differential_square",
+    "differential_prbs",
+    "differential_sine",
+    "add_differential_source",
+]

@@ -1,0 +1,120 @@
+"""Technology characterization and automated calibration.
+
+The paper anchors its process loosely (swing ~250 mV, VBE = 900 mV,
+stage delay ~53 ps); :func:`characterize` measures those figures of
+merit for any :class:`CmlTechnology`, and :func:`calibrate_delay`
+solves the inverse problem — find the wiring capacitance that hits a
+target stage delay — which is how this repository's 50 fF default was
+derived from the paper's 53 ps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..sim.dc import operating_point
+from ..sim.sweep import run_cycles
+from ..sim.waveform import differential_crossings
+from .chain import buffer_chain
+from .technology import CmlTechnology, NOMINAL
+
+
+def measure_stage_delay(tech: CmlTechnology, n_stages: int = 6,
+                        frequency: float = 100e6,
+                        points_per_cycle: int = 800) -> float:
+    """Per-stage propagation delay from differential edge timing.
+
+    Averages over the interior stages of a short chain (the first stage
+    sees the ideal source, the last is unloaded, both are excluded).
+    """
+    chain = buffer_chain(tech, n_stages=n_stages, frequency=frequency)
+    result = run_cycles(chain.circuit, frequency, cycles=2.5,
+                        points_per_cycle=points_per_cycle)
+    t_ref = differential_crossings(result.wave("va"), result.wave("vab"),
+                                   "rise", after=1.2 / frequency)[0]
+    arrivals = [t_ref]
+    for net_p, net_n in chain.output_nets[:-1]:
+        crossings = [t for t in differential_crossings(
+            result.wave(net_p), result.wave(net_n), "rise")
+            if t > arrivals[-1]]
+        arrivals.append(crossings[0])
+    # Stage delays excluding the source-driven first stage.
+    deltas = [b - a for a, b in zip(arrivals[1:], arrivals[2:])]
+    deltas.sort()
+    return deltas[len(deltas) // 2]
+
+
+def characterize(tech: CmlTechnology = NOMINAL) -> Dict[str, float]:
+    """Measured figures of merit for a technology.
+
+    Returns swing (V), vbe (V), tail current (A), per-stage delay (s),
+    per-gate power (W) and the implied max toggle frequency.
+    """
+    chain = buffer_chain(tech, n_stages=3, frequency=100e6)
+    op = operating_point(chain.circuit)
+    q3 = op.operating_info("X1.Q3")
+    result = run_cycles(chain.circuit, 100e6, cycles=2.5,
+                        points_per_cycle=400)
+    swing = result.wave("op2").window(10e-9, 25e-9).swing()
+    delay = measure_stage_delay(tech)
+    power = tech.vgnd * q3["ic"]
+    return {
+        "swing": swing,
+        "vbe": q3["vbe"],
+        "itail": q3["ic"],
+        "stage_delay": delay,
+        "gate_power": power,
+        "max_toggle_frequency": 1.0 / (4.0 * delay),
+    }
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a calibration search."""
+
+    tech: CmlTechnology
+    target_delay: float
+    achieved_delay: float
+    iterations: int
+
+    @property
+    def error(self) -> float:
+        return abs(self.achieved_delay - self.target_delay)
+
+
+def calibrate_delay(target_delay: float,
+                    tech: CmlTechnology = NOMINAL,
+                    tolerance: float = 0.03,
+                    max_iterations: int = 8) -> CalibrationResult:
+    """Find the wiring capacitance giving ``target_delay`` per stage.
+
+    Secant iteration on ``c_wire`` (delay is nearly affine in the output
+    capacitance); converges in 2-4 simulations for targets within a
+    factor of a few of the starting point.  ``tolerance`` is relative.
+    """
+    if target_delay <= 0:
+        raise ValueError("target delay must be positive")
+    c0 = tech.c_wire
+    d0 = measure_stage_delay(replace(tech, c_wire=c0))
+    if abs(d0 - target_delay) <= tolerance * target_delay:
+        return CalibrationResult(replace(tech, c_wire=c0), target_delay,
+                                 d0, iterations=1)
+    # Second probe: scale capacitance by the delay ratio (delay has an
+    # offset from junction caps, so this under/overshoots — the secant
+    # fixes it).
+    c1 = max(c0 * target_delay / d0, 1e-15)
+    d1 = measure_stage_delay(replace(tech, c_wire=c1))
+    iterations = 2
+    while (abs(d1 - target_delay) > tolerance * target_delay
+           and iterations < max_iterations):
+        if d1 == d0:
+            break
+        c2 = c1 + (target_delay - d1) * (c1 - c0) / (d1 - d0)
+        c2 = max(c2, 1e-15)
+        c0, d0 = c1, d1
+        c1 = c2
+        d1 = measure_stage_delay(replace(tech, c_wire=c1))
+        iterations += 1
+    return CalibrationResult(replace(tech, c_wire=c1), target_delay, d1,
+                             iterations=iterations)

@@ -1,0 +1,282 @@
+"""The CML standard-cell library (paper section 2).
+
+Every cell is a :class:`~repro.circuit.subcircuit.SubCircuit` built from a
+:class:`~repro.cml.technology.CmlTechnology`:
+
+* :func:`buffer_cell` — the Fig. 1 data buffer (differential pair Q1/Q2 +
+  current source Q3 with emitter degeneration), the DUT of the whole paper;
+* :func:`level_shifter_cell` — emitter follower shifting a signal down one
+  VBE, required before driving a lower differential level (section 2);
+* :func:`and2_cell` / :func:`or2_cell` / :func:`xor2_cell` /
+  :func:`mux2_cell` — two-level series-gated gates ("vertical stacking of
+  differential pairs");
+* :func:`latch_cell` / :func:`dff_cell` — clocked cells for the sequential
+  test-generation experiments of section 6.6.
+
+Cells carry logic metadata (``cell_type``, ``logic_inputs``,
+``logic_outputs``, ``logic_eval``) consumed by :mod:`repro.testgen` so the
+same netlists drive both analog simulation and gate-level toggle analysis.
+
+Transistor naming matters for fault injection: the Fig. 1 names are kept
+(Q1/Q2 differential pair, Q3 current source), so the paper's "4 kΩ pipe on
+Q3 of the DUT" is literally ``Pipe("DUT.Q3", 4e3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..circuit.components import Capacitor, Resistor
+from ..circuit.devices import Bjt
+from ..circuit.netlist import Circuit
+from ..circuit.subcircuit import SubCircuit
+from .technology import VCS_NET, VEE_NET, VGND_NET, CmlTechnology, NOMINAL
+
+#: Ports shared by all cells: positive rail and current-source bias.
+RAIL_PORTS = [VGND_NET, VCS_NET]
+
+
+def _decorate(cell: SubCircuit, cell_type: str,
+              logic_inputs: Sequence[Tuple[str, str]],
+              logic_outputs: Sequence[Tuple[str, str]],
+              logic_eval: Callable[..., Tuple[bool, ...]],
+              is_sequential: bool = False) -> SubCircuit:
+    """Attach the gate-level metadata used by :mod:`repro.testgen`."""
+    cell.cell_type = cell_type
+    cell.logic_inputs = list(logic_inputs)
+    cell.logic_outputs = list(logic_outputs)
+    cell.logic_eval = logic_eval
+    cell.is_sequential = is_sequential
+    return cell
+
+
+def _add_tail(circuit: Circuit, tech: CmlTechnology, tail_net: str,
+              suffix: str = "") -> None:
+    """Current source: Q3 with its base on the fixed vcs bias rail.
+
+    As in Fig. 1, the emitter connects directly to vee and the "environment
+    independent voltage generator" (the vcs rail) programs the current via
+    VBE.  No emitter degeneration: this is what makes a C-E pipe on Q3 an
+    *uncompensated* extra tail current, the paper's headline defect.
+    """
+    circuit.add(Bjt(f"Q3{suffix}", tail_net, VCS_NET, VEE_NET,
+                    **tech.bjt_params()))
+
+
+def _add_output_load(circuit: Circuit, tech: CmlTechnology, op: str,
+                     opb: str) -> None:
+    """Collector resistors plus lumped wiring capacitance on both outputs."""
+    circuit.add(Resistor("R1", VGND_NET, op, tech.rc))
+    circuit.add(Resistor("R2", VGND_NET, opb, tech.rc))
+    if tech.c_wire > 0:
+        circuit.add(Capacitor("CW1", op, VEE_NET, tech.c_wire))
+        circuit.add(Capacitor("CW2", opb, VEE_NET, tech.c_wire))
+
+
+def buffer_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """The Fig. 1 CML data buffer.
+
+    Ports: ``a``/``ab`` differential input, ``op``/``opb`` differential
+    output, plus the rails.  ``op`` follows ``a`` (Q1's collector is
+    ``opb``), matching the paper's Fig. 2 experiment where a C-E short on
+    Q2 sticks ``op`` at logic 0.
+    """
+    cell = SubCircuit("cml_buffer", ports=["a", "ab", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    circuit.add(Bjt("Q1", "opb", "a", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("Q2", "op", "ab", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "buffer", [("a", "ab")], [("op", "opb")],
+                     lambda a: (a,))
+
+
+def inverter_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """A CML inverter — electrically a buffer with crossed outputs.
+
+    In CML inversion is free (swap the differential pair); the cell exists
+    so gate-level netlists can express logic polarity explicitly.
+    """
+    cell = SubCircuit("cml_inverter", ports=["a", "ab", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    circuit.add(Bjt("Q1", "op", "a", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("Q2", "opb", "ab", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "inverter", [("a", "ab")], [("op", "opb")],
+                     lambda a: (not a,))
+
+
+def level_shifter_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Emitter follower shifting ``inp`` down one VBE onto ``out``.
+
+    Section 2: "gate outputs must be level shifted by one VBE before
+    driving them" (the lower differential pairs of stacked gates).
+    """
+    cell = SubCircuit("cml_level_shifter", ports=["inp", "out", VGND_NET])
+    circuit = cell.circuit
+    circuit.add(Bjt("Q1", VGND_NET, "inp", "out", **tech.bjt_params()))
+    pulldown = (tech.vhigh - tech.vbe_on) / tech.itail
+    circuit.add(Resistor("RS", "out", VEE_NET, pulldown))
+    return _decorate(cell, "level_shifter", [("inp", "inp")],
+                     [("out", "out")], lambda a: (a,))
+
+
+def and2_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Two-level series-gated AND2: ``op = a AND b``.
+
+    ``a``/``ab`` are top-level inputs; ``bl``/``blb`` must be level-shifted
+    copies of ``b`` (one VBE down).  ``opb`` is the free NAND output.
+    """
+    cell = SubCircuit(
+        "cml_and2", ports=["a", "ab", "bl", "blb", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    # Top pair, active when b is high.
+    circuit.add(Bjt("QT1", "opb", "a", "ttop", **tech.bjt_params()))
+    circuit.add(Bjt("QT2", "op", "ab", "ttop", **tech.bjt_params()))
+    # Bottom pair steers the tail either into the top pair or straight
+    # into the AND output's resistor (forcing op low when b is low).
+    circuit.add(Bjt("QB1", "ttop", "bl", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("QB2", "op", "blb", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "and2", [("a", "ab"), ("bl", "blb")],
+                     [("op", "opb")], lambda a, b: (a and b,))
+
+
+def or2_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Two-level series-gated OR2: ``op = a OR b`` (De Morgan of AND2).
+
+    Same topology as :func:`and2_cell` with inputs and outputs taken from
+    the complementary rails.
+    """
+    cell = SubCircuit(
+        "cml_or2", ports=["a", "ab", "bl", "blb", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    circuit.add(Bjt("QT1", "op", "ab", "ttop", **tech.bjt_params()))
+    circuit.add(Bjt("QT2", "opb", "a", "ttop", **tech.bjt_params()))
+    circuit.add(Bjt("QB1", "ttop", "blb", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("QB2", "opb", "bl", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "or2", [("a", "ab"), ("bl", "blb")],
+                     [("op", "opb")], lambda a, b: (a or b,))
+
+
+def xor2_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Two-level XOR2: ``op = a XOR b`` via cross-wired top pairs.
+
+    This is the gate Menon's prior-art like-fault test [4] spends per
+    circuit gate; here it is also the reference comparison cell for the
+    area-overhead study in :mod:`repro.dft.area`.
+    """
+    cell = SubCircuit(
+        "cml_xor2", ports=["a", "ab", "bl", "blb", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    # b high: op = NOT a (pair A), b low: op = a (pair B).
+    circuit.add(Bjt("QA1", "op", "a", "ta", **tech.bjt_params()))
+    circuit.add(Bjt("QA2", "opb", "ab", "ta", **tech.bjt_params()))
+    circuit.add(Bjt("QB1", "opb", "a", "tb", **tech.bjt_params()))
+    circuit.add(Bjt("QB2", "op", "ab", "tb", **tech.bjt_params()))
+    circuit.add(Bjt("QS1", "ta", "bl", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("QS2", "tb", "blb", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "xor2", [("a", "ab"), ("bl", "blb")],
+                     [("op", "opb")], lambda a, b: (a != b,))
+
+
+def mux2_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Two-level 2:1 multiplexer: ``op = b if s else a``.
+
+    ``a``/``ab`` and ``b``/``bb`` are top-level data inputs; ``sl``/``slb``
+    the level-shifted select.
+    """
+    cell = SubCircuit(
+        "cml_mux2",
+        ports=["a", "ab", "b", "bb", "sl", "slb", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    # Pass-b pair (select high).
+    circuit.add(Bjt("QB1", "opb", "b", "tb", **tech.bjt_params()))
+    circuit.add(Bjt("QB2", "op", "bb", "tb", **tech.bjt_params()))
+    # Pass-a pair (select low).
+    circuit.add(Bjt("QA1", "opb", "a", "ta", **tech.bjt_params()))
+    circuit.add(Bjt("QA2", "op", "ab", "ta", **tech.bjt_params()))
+    circuit.add(Bjt("QS1", "tb", "sl", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("QS2", "ta", "slb", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "mux2",
+                     [("a", "ab"), ("b", "bb"), ("sl", "slb")],
+                     [("op", "opb")],
+                     lambda a, b, s: (b if s else a,))
+
+
+def latch_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """CML D-latch: transparent while ``clkl`` is high, holding otherwise.
+
+    ``d``/``db`` are top-level data inputs; ``clkl``/``clklb`` the
+    level-shifted clock.  The hold pair is cross-coupled on the outputs.
+    """
+    cell = SubCircuit(
+        "cml_latch",
+        ports=["d", "db", "clkl", "clklb", "op", "opb"] + RAIL_PORTS)
+    circuit = cell.circuit
+    _add_output_load(circuit, tech, "op", "opb")
+    # Track pair.
+    circuit.add(Bjt("QD1", "opb", "d", "ttrack", **tech.bjt_params()))
+    circuit.add(Bjt("QD2", "op", "db", "ttrack", **tech.bjt_params()))
+    # Regenerative hold pair (bases on the outputs themselves).
+    circuit.add(Bjt("QH1", "opb", "op", "thold", **tech.bjt_params()))
+    circuit.add(Bjt("QH2", "op", "opb", "thold", **tech.bjt_params()))
+    # Clocked steering pair.
+    circuit.add(Bjt("QC1", "ttrack", "clkl", "tail", **tech.bjt_params()))
+    circuit.add(Bjt("QC2", "thold", "clklb", "tail", **tech.bjt_params()))
+    _add_tail(circuit, tech, "tail")
+    return _decorate(cell, "latch", [("d", "db"), ("clkl", "clklb")],
+                     [("op", "opb")],
+                     lambda d, clk, state=None: (d if clk else state,),
+                     is_sequential=True)
+
+
+def dff_cell(tech: CmlTechnology = NOMINAL) -> SubCircuit:
+    """Master-slave D flip-flop from two latches on opposite clock phases.
+
+    Captures ``d`` on the rising edge of the (level-shifted) clock.
+    """
+    cell = SubCircuit(
+        "cml_dff",
+        ports=["d", "db", "clkl", "clklb", "q", "qb"] + RAIL_PORTS)
+    master = latch_cell(tech)
+    slave = latch_cell(tech)
+    # Master is transparent while the clock is LOW so the slave launches
+    # the captured value on the rising edge.
+    master.instantiate(cell.circuit, "M", {
+        "d": "d", "db": "db", "clkl": "clklb", "clklb": "clkl",
+        "op": "mq", "opb": "mqb", VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+    slave.instantiate(cell.circuit, "S", {
+        "d": "mq", "db": "mqb", "clkl": "clkl", "clklb": "clklb",
+        "op": "q", "opb": "qb", VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+    return _decorate(cell, "dff", [("d", "db"), ("clkl", "clklb")],
+                     [("q", "qb")],
+                     lambda d, clk, state=None: (state,),
+                     is_sequential=True)
+
+
+#: Registry of all combinational/sequential cells by type name.
+CELL_BUILDERS: Dict[str, Callable[[CmlTechnology], SubCircuit]] = {
+    "buffer": buffer_cell,
+    "inverter": inverter_cell,
+    "level_shifter": level_shifter_cell,
+    "and2": and2_cell,
+    "or2": or2_cell,
+    "xor2": xor2_cell,
+    "mux2": mux2_cell,
+    "latch": latch_cell,
+    "dff": dff_cell,
+}
+
+
+def transistor_count(cell: SubCircuit) -> int:
+    """Number of bipolar transistors in a cell (area bookkeeping)."""
+    return len(cell.circuit.components_of_type(Bjt))

@@ -1,0 +1,99 @@
+"""Static noise-margin analysis of CML gates (section 2 claims).
+
+"In CML, each digital signal is thus represented by the voltage
+difference between two nodes, which increases the gate's noise margin."
+This module quantifies that: noise margins from the buffer's static
+voltage transfer characteristic (VTC), measured single-ended (one input
+wiggling against a fixed reference) and differentially (both inputs
+moving anti-phase, doubling the effective input excursion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..circuit.components import VoltageSource
+from ..circuit.netlist import Circuit
+from ..circuit.subcircuit import instantiate
+from ..sim.dcsweep import dc_sweep
+from .cells import buffer_cell
+from .technology import VCS_NET, VGND_NET, CmlTechnology, NOMINAL
+
+
+@dataclass
+class NoiseMargins:
+    """Static noise margins from the unity-gain points of the VTC."""
+
+    vil: float  # highest legal input low
+    vih: float  # lowest legal input high
+    vol: float  # output low at vil
+    voh: float  # output high at vih
+    nm_low: float
+    nm_high: float
+
+    @property
+    def total(self) -> float:
+        return self.nm_low + self.nm_high
+
+
+def buffer_vtc(tech: CmlTechnology = NOMINAL, points: int = 201,
+               differential: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """The buffer's static transfer curve ``v(op)`` vs input voltage.
+
+    Single-ended: input `a` sweeps while `ab` holds the mid level.
+    Differential: `ab` mirrors the sweep around the mid level, so a
+    differential perturbation of x volts moves the pair by 2x — the
+    mechanism behind the paper's noise-margin claim.
+    """
+    circuit = Circuit("vtc")
+    tech.add_supplies(circuit)
+    circuit.add(VoltageSource("VIN", "a", "0", tech.vmid))
+    circuit.add(VoltageSource("VINB", "ab", "0", tech.vmid))
+    instantiate(circuit, buffer_cell(tech), "X1", {
+        "a": "a", "ab": "ab", "op": "op", "opb": "opb",
+        VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+    sweep_values = np.linspace(tech.vlow, tech.vhigh, points)
+    result = dc_sweep(circuit, "VIN", sweep_values)
+    if differential:
+        # Re-sweep with the complement mirrored: modify VINB per point.
+        outputs = []
+        working = circuit.copy()
+        from ..circuit.sources import Dc
+        from ..sim.dc import operating_point
+
+        guess = None
+        for value in sweep_values:
+            working["VIN"].waveform = Dc(value)
+            working["VINB"].waveform = Dc(2 * tech.vmid - value)
+            solution = operating_point(working, initial=guess)
+            guess = solution.x
+            outputs.append(solution.voltage("op"))
+        return sweep_values, np.asarray(outputs)
+    return sweep_values, result.voltage("op")
+
+
+def noise_margins(tech: CmlTechnology = NOMINAL,
+                  differential: bool = False,
+                  points: int = 201) -> NoiseMargins:
+    """NM_L / NM_H from the unity-gain (|dVout/dVin| = 1) VTC points."""
+    vin, vout = buffer_vtc(tech, points=points, differential=differential)
+    gain = np.gradient(vout, vin)
+    above = np.nonzero(np.abs(gain) >= 1.0)[0]
+    if above.size == 0:
+        raise RuntimeError("VTC never reaches unity gain — no valid "
+                           "logic levels")
+    vil = float(vin[above[0]])
+    vih = float(vin[above[-1]])
+    vol = float(vout[above[-1]]) if vout[-1] > vout[0] else float(
+        vout[above[0]])
+    # For the non-inverting buffer: output low sits at the left end.
+    vol = float(np.interp(vil, vin, vout))
+    voh = float(np.interp(vih, vin, vout))
+    if voh < vol:  # inverting curve: swap roles
+        vol, voh = voh, vol
+    return NoiseMargins(
+        vil=vil, vih=vih, vol=vol, voh=voh,
+        nm_low=vil - vol, nm_high=voh - vih)

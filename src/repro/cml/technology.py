@@ -1,0 +1,173 @@
+"""Technology parameters for the reproduced CML library.
+
+The paper works in a Nortel bipolar process it characterises only loosely:
+supplies vee = 0 V / vgnd = 3.3 V, output swing ~250 mV, "VBE = 900 mV
+technology", gate delay ~53 ps.  :class:`CmlTechnology` derives a
+self-consistent parameter set from those anchors:
+
+* ``rc = swing / itail`` (the collector resistor sets the swing);
+* ``isat = itail / exp(vbe_on / VT)`` so a transistor carrying the tail
+  current drops exactly ``vbe_on``;
+* the current-source bias ``vcs = vbe_on + itail * re`` programs the tail
+  current through emitter degeneration;
+* junction/wire capacitances are calibrated so the nominal buffer delay in
+  the 8-stage chain is ~50 ps (see ``tests/test_cml_cells.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..circuit.devices import THERMAL_VOLTAGE
+from ..circuit.components import VoltageSource
+from ..circuit.netlist import Circuit
+
+#: Net names used for the global rails in every composed circuit.
+VGND_NET = "vgnd"
+VCS_NET = "vcs"
+VEE_NET = "0"
+VTEST_NET = "vtest"
+
+
+@dataclass(frozen=True)
+class CmlTechnology:
+    """Derived, immutable parameter set for one CML process corner."""
+
+    #: Positive rail (paper: 3.3 V) — CML outputs swing just below it.
+    vgnd: float = 3.3
+    #: Nominal differential output swing, volts (paper: ~250 mV).
+    swing: float = 0.25
+    #: Gate tail current, amperes.
+    itail: float = 0.5e-3
+    #: Forward base-emitter drop at the tail current (paper: 900 mV).
+    vbe_on: float = 0.9
+    #: Forward / reverse current gain.
+    beta_f: float = 200.0
+    beta_r: float = 2.0
+    #: Junction capacitances, farads.
+    cje: float = 20e-15
+    cjc: float = 25e-15
+    #: Lumped wiring capacitance added at every gate output, farads.
+    c_wire: float = 50e-15
+    #: Amplitude margin of the variant-2/3 detection threshold: outputs
+    #: below ``vlow - vtest_margin`` turn the detectors on in test mode.
+    vtest_margin: float = 0.25
+    #: Explicit test-mode bias override; None derives vtest from the
+    #: margin and the temperature-tracking VBE (see :attr:`vtest`).
+    vtest_override: float | None = None
+    #: Die temperature, Celsius (26.85 = 300 K, the calibration point).
+    temperature_c: float = 26.85
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    @property
+    def rc(self) -> float:
+        """Collector load resistor: sets the swing at the tail current."""
+        return self.swing / self.itail
+
+    @property
+    def isat(self) -> float:
+        """Transport saturation current giving ``vbe_on`` at ``itail``."""
+        return self.itail / math.exp(self.vbe_on / THERMAL_VOLTAGE)
+
+    @property
+    def vcs(self) -> float:
+        """Current-source base bias programming ``itail`` at the die
+        temperature.
+
+        The paper's "environment independent voltage generator" tracks
+        process and temperature; here that means computing the VBE that
+        yields the nominal tail current with the temperature-scaled
+        saturation current (at the 300 K calibration point this is
+        exactly ``vbe_on``)."""
+        from ..circuit.devices import isat_temperature_factor, thermal_voltage
+
+        vt = thermal_voltage(self.temperature_c)
+        isat_t = self.isat * isat_temperature_factor(self.temperature_c)
+        return vt * math.log(self.itail / isat_t)
+
+    @property
+    def vtest(self) -> float:
+        """Test-mode detector bias (paper: 3.7 V at the 900 mV/300 K
+        calibration point).
+
+        Derived as ``vlow - vtest_margin + VBE(T)`` so the detection
+        threshold sits ``vtest_margin`` below the legal low level across
+        temperature — the same tracking the paper assumes of its
+        "environment independent voltage generator".
+        """
+        if self.vtest_override is not None:
+            return self.vtest_override
+        return self.vlow - self.vtest_margin + self.vcs
+
+    @property
+    def vhigh(self) -> float:
+        """Nominal logic-high output level (no current in the resistor)."""
+        return self.vgnd
+
+    @property
+    def vlow(self) -> float:
+        """Nominal logic-low output level."""
+        return self.vgnd - self.swing
+
+    @property
+    def vmid(self) -> float:
+        """Nominal crossing point of an output and its complement.
+
+        The paper uses this as the logic-threshold reference for the
+        Table 1 delay measurements (3.165 V in their process; here it is
+        ``vgnd - swing/2``).
+        """
+        return self.vgnd - 0.5 * self.swing
+
+    @property
+    def shift(self) -> float:
+        """Level-shift between CML logic levels (one VBE)."""
+        return self.vbe_on
+
+    def low_level_high(self) -> float:
+        """Logic-high of the level-shifted (second-level) signals."""
+        return self.vhigh - self.shift
+
+    def low_level_low(self) -> float:
+        """Logic-low of the level-shifted (second-level) signals."""
+        return self.vlow - self.shift
+
+    def bjt_params(self) -> dict:
+        """Keyword arguments for :class:`repro.circuit.Bjt` construction."""
+        return {
+            "isat": self.isat,
+            "beta_f": self.beta_f,
+            "beta_r": self.beta_r,
+            "cje": self.cje,
+            "cjc": self.cjc,
+            "temperature_c": self.temperature_c,
+        }
+
+    # ------------------------------------------------------------------
+    # Supply insertion
+    # ------------------------------------------------------------------
+    def add_supplies(self, circuit: Circuit, include_vtest: bool = False,
+                     vtest_value: float | None = None) -> None:
+        """Add the rail sources every composed design needs.
+
+        ``vgnd`` and the current-source bias ``vcs`` always; ``vtest``
+        (the variant-2/3 detector bias) only on request.  In normal mode
+        the paper ties vtest to vgnd — pass ``vtest_value=self.vgnd`` to
+        model that.
+        """
+        circuit.add(VoltageSource("VGND", VGND_NET, VEE_NET, self.vgnd))
+        circuit.add(VoltageSource("VCS", VCS_NET, VEE_NET, self.vcs))
+        if include_vtest:
+            value = self.vtest if vtest_value is None else vtest_value
+            circuit.add(VoltageSource("VTEST", VTEST_NET, VEE_NET, value))
+
+    def scaled(self, **overrides) -> "CmlTechnology":
+        """A copy with some parameters replaced (speed/power corners)."""
+        return replace(self, **overrides)
+
+
+#: The default technology used throughout the experiments.
+NOMINAL = CmlTechnology()

@@ -1,0 +1,95 @@
+"""The paper's contribution: built-in voltage-excursion detectors.
+
+* :mod:`repro.dft.detectors` — variant 1 (single-sided, Fig. 6) and
+  variant 2 (vtest-biased double-sided, Fig. 9);
+* :mod:`repro.dft.comparator` — variant 3 conversion to a logic value
+  (Fig. 11: vtest-supplied load with R0, feedback comparator, restorer);
+* :mod:`repro.dft.sharing` — load/comparator sharing over N gates (Fig. 13);
+* :mod:`repro.dft.insertion` — whole-design instrumentation;
+* :mod:`repro.dft.area` — overhead accounting incl. the dual-emitter
+  optimization (Fig. 15) and the prior-art XOR observer baseline.
+"""
+
+from .area import (
+    AreaReport,
+    area_variant1,
+    area_variant2,
+    area_variant3_shared,
+    area_xor_observer,
+    overhead_table,
+)
+from .comparator import (
+    ComparatorConfig,
+    DEFAULT_COMPARATOR,
+    MonitorNets,
+    attach_comparator,
+)
+from .detectors import (
+    DEFAULT_CONFIG,
+    DetectorConfig,
+    DetectorInstance,
+    add_load_network,
+    attach_detector_pair_only,
+    attach_variant1,
+    attach_variant2,
+)
+from .insertion import (
+    MAX_SAFE_SHARE,
+    InstrumentedDesign,
+    instrument_chain,
+    instrument_pairs,
+)
+from .diagnosis import (
+    Candidate,
+    DiagnosisResult,
+    Observation,
+    candidate_space,
+    diagnose,
+    distinguishing_vectors,
+)
+from .xor_observer import XorObserver, attach_xor_observer, observer_verdict
+from .sharing import (
+    SharedMonitor,
+    build_shared_monitor,
+    ensure_vtest,
+    group_pairs,
+    test_mode_entry,
+)
+
+__all__ = [
+    "Candidate",
+    "Observation",
+    "DiagnosisResult",
+    "diagnose",
+    "candidate_space",
+    "distinguishing_vectors",
+    "XorObserver",
+    "attach_xor_observer",
+    "observer_verdict",
+    "DetectorConfig",
+    "DEFAULT_CONFIG",
+    "DetectorInstance",
+    "attach_variant1",
+    "attach_variant2",
+    "attach_detector_pair_only",
+    "add_load_network",
+    "ComparatorConfig",
+    "DEFAULT_COMPARATOR",
+    "MonitorNets",
+    "attach_comparator",
+    "SharedMonitor",
+    "build_shared_monitor",
+    "ensure_vtest",
+    "test_mode_entry",
+    "group_pairs",
+    "InstrumentedDesign",
+    "instrument_chain",
+    "instrument_pairs",
+    "MAX_SAFE_SHARE",
+    "AreaReport",
+    "area_variant1",
+    "area_variant2",
+    "area_variant3_shared",
+    "area_xor_observer",
+    "overhead_table",
+]

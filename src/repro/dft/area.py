@@ -1,0 +1,118 @@
+"""Area-overhead accounting (sections 6.4-6.5).
+
+The paper motivates load sharing and the dual-emitter detector by area:
+prior art (Menon's XOR observer [4]) spends a full test gate per circuit
+gate, while the shared variant-2/3 monitor amortises its load circuit and
+comparator over up to 45 gates and needs only one dual-emitter transistor
+per monitored gate.
+
+The model is deliberately simple and explicit: device counts weighted by
+normalized layout areas.  It answers the paper's comparative question
+(which scheme is cheaper, by roughly what factor), not absolute µm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cml.cells import buffer_cell, transistor_count, xor2_cell
+from ..cml.technology import CmlTechnology, NOMINAL
+
+#: Normalised layout-area weights (unit transistor = 1).
+TRANSISTOR_AREA = 1.0
+#: Each extra emitter of a multi-emitter device costs a fraction of a
+#: full transistor (shared base/collector).
+EXTRA_EMITTER_AREA = 0.35
+#: Resistors and small capacitors, relative to a unit transistor.
+RESISTOR_AREA = 0.5
+#: Per-picofarad MIM/junction capacitor area.
+CAPACITOR_AREA_PER_PF = 2.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Detector-scheme area for a circuit of ``n_gates`` monitored gates."""
+
+    scheme: str
+    n_gates: int
+    per_gate_devices: float
+    shared_devices: float
+
+    @property
+    def total(self) -> float:
+        return self.n_gates * self.per_gate_devices + self.shared_devices
+
+    @property
+    def per_gate_effective(self) -> float:
+        return self.total / self.n_gates if self.n_gates else 0.0
+
+
+def _load_and_comparator_area(load_cap: float) -> float:
+    """Area of one Fig. 11 load circuit + comparator + level restorer."""
+    transistors = 10  # Q0, QC1-3, QF1-2, QR1-3 ... and the reference net
+    resistors = 7     # R0, RC1-2, RF1-2, RR1-2
+    return (transistors * TRANSISTOR_AREA + resistors * RESISTOR_AREA
+            + load_cap * 1e12 * CAPACITOR_AREA_PER_PF)
+
+
+def area_variant1(n_gates: int, load_cap: float = 10e-12,
+                  detector_area: float = 100.0) -> AreaReport:
+    """Variant 1: per gate, one (large) Q4 + diode Q5 + capacitor C7."""
+    per_gate = (detector_area ** 0.5 * TRANSISTOR_AREA  # long-emitter Q4
+                + TRANSISTOR_AREA                        # diode Q5
+                + load_cap * 1e12 * CAPACITOR_AREA_PER_PF)
+    return AreaReport("variant1", n_gates, per_gate, 0.0)
+
+
+def area_variant2(n_gates: int, load_cap: float = 10e-12) -> AreaReport:
+    """Variant 2 unshared: two unit detectors + own load per gate."""
+    per_gate = (2 * TRANSISTOR_AREA + TRANSISTOR_AREA
+                + load_cap * 1e12 * CAPACITOR_AREA_PER_PF)
+    return AreaReport("variant2", n_gates, per_gate, 0.0)
+
+
+def area_variant3_shared(n_gates: int, max_share: int = 45,
+                         load_cap: float = 1e-12,
+                         dual_emitter: bool = False) -> AreaReport:
+    """Variant 3 with load sharing (and optionally dual-emitter detectors).
+
+    Per gate: the detector pair only.  Shared: one load + comparator per
+    group of ``max_share`` gates.
+    """
+    if dual_emitter:
+        per_gate = TRANSISTOR_AREA + EXTRA_EMITTER_AREA
+    else:
+        per_gate = 2 * TRANSISTOR_AREA
+    n_groups = max(1, -(-n_gates // max_share))  # ceil division
+    shared = n_groups * _load_and_comparator_area(load_cap)
+    scheme = "variant3-dual-emitter" if dual_emitter else "variant3-shared"
+    return AreaReport(scheme, n_gates, per_gate, shared)
+
+
+def area_xor_observer(n_gates: int, tech: CmlTechnology = NOMINAL) -> AreaReport:
+    """Prior art [4]: a full XOR gate (plus level shifter) per circuit gate.
+
+    This is the comparison point for the paper's "very high area overhead"
+    remark about Menon's like-fault technique.
+    """
+    xor_devices = (transistor_count(xor2_cell(tech)) * TRANSISTOR_AREA
+                   + 2 * RESISTOR_AREA  # collector resistors
+                   + TRANSISTOR_AREA + RESISTOR_AREA)  # level shifter
+    return AreaReport("xor-observer", n_gates, xor_devices, 0.0)
+
+
+def overhead_table(n_gates: int = 100,
+                   tech: CmlTechnology = NOMINAL) -> Dict[str, float]:
+    """Effective per-gate area of every scheme, relative to a CML buffer."""
+    buffer_area = (transistor_count(buffer_cell(tech)) * TRANSISTOR_AREA
+                   + 2 * RESISTOR_AREA)
+    schemes = [
+        area_xor_observer(n_gates, tech),
+        area_variant1(n_gates),
+        area_variant2(n_gates),
+        area_variant3_shared(n_gates),
+        area_variant3_shared(n_gates, dual_emitter=True),
+    ]
+    return {report.scheme: report.per_gate_effective / buffer_area
+            for report in schemes}

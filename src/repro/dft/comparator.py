@@ -1,0 +1,160 @@
+"""Variant 3: detector output conversion to a logic value (section 6.3).
+
+The diode-capacitor detectors of variants 1/2 present a very high output
+impedance in the fault-free state, but a CML comparator input sinks a base
+current of roughly ``itail / beta`` — enough to drag ``vout`` down to
+faulty-looking levels.  Fig. 11's fixes, all reproduced here:
+
+* the load circuit hangs from ``vtest`` (not vgnd) so it can source the
+  comparator's input bias current while staying above the detection band;
+* a resistor **R0** (paper: 40 kΩ) in parallel with the load diode Q0
+  carries that bias current with a much smaller drop than the diode would
+  (the diode's dynamic resistance is huge at nA currents);
+* the comparator's complementary output **vfb** is fed back as its own
+  reference input — positive feedback that sharpens switching and creates
+  the Fig. 12 hysteresis: a vout below the lower threshold is *guaranteed*
+  detected, above the upper threshold *guaranteed* passed;
+* emitter followers plus an output buffer shift the flag back to standard
+  CML levels.
+
+The comparator runs on a reduced swing (default ~120 mV): the feedback
+amplitude directly sets the hysteresis width, and the paper's measured
+band is only ~30 mV wide (3.54 V / 3.57 V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.components import Capacitor, Resistor
+from ..circuit.devices import Bjt
+from ..circuit.netlist import Circuit
+from ..cml.technology import (
+    VCS_NET,
+    VEE_NET,
+    VGND_NET,
+    VTEST_NET,
+    CmlTechnology,
+    NOMINAL,
+)
+from .detectors import DetectorConfig, DEFAULT_CONFIG, _scaled_bjt_params
+
+
+@dataclass(frozen=True)
+class ComparatorConfig:
+    """Sizing of the variant-3 load circuit and comparison amplifier."""
+
+    #: Parallel load resistor (paper: 40 kΩ "a good choice when
+    #: considering detection of amplitudes above 0.35 V").
+    r0: float = 40e3
+    #: Load/filter capacitor C0 on the shared vout.
+    c0: float = 1e-12
+    #: Comparator output swing — sets the hysteresis width (0.16 V gives
+    #: the paper's ~30 mV band; see the Fig. 12 bench).
+    swing: float = 0.16
+    #: Comparator collector resistors.
+    rc: float = 500.0
+    #: Area ratio of the vout-side input transistor QC1 over QC2.  A ratio
+    #: above 1 builds in an input offset of ``VT * ln(ratio)`` that shifts
+    #: both hysteresis thresholds *down*, buying fault-free sharing margin
+    #: (the Fig. 14 safe-N criterion) without widening the band.
+    input_offset_area: float = 6.0
+    #: Disable the positive feedback (ablation: reference ties to a fixed
+    #: mid level instead of vfb).
+    feedback: bool = True
+
+    @property
+    def itail(self) -> float:
+        """Comparator tail current implied by swing and rc."""
+        return self.swing / self.rc
+
+
+DEFAULT_COMPARATOR = ComparatorConfig()
+
+
+@dataclass
+class MonitorNets:
+    """Nets of an attached variant-3 monitor."""
+
+    vout: str
+    vfb: str
+    cout: str
+    flag: str
+    flagb: str
+    elements: List[str] = field(default_factory=list)
+
+
+def attach_comparator(circuit: Circuit, vout: str, name: str = "CMP",
+                      tech: CmlTechnology = NOMINAL,
+                      config: ComparatorConfig = DEFAULT_COMPARATOR,
+                      detector_config: DetectorConfig = DEFAULT_CONFIG,
+                      vtest_net: str = VTEST_NET) -> MonitorNets:
+    """Attach the Fig. 11 load circuit + feedback comparator to ``vout``.
+
+    Returns the monitor nets; ``flag`` is high (CML logic 1) while the
+    monitored gates look fault-free and falls when vout crosses the lower
+    hysteresis threshold.  The caller attaches detector transistors to
+    ``vout`` separately (per gate, possibly shared — Fig. 13).
+    """
+    elements: List[str] = []
+
+    def add(component):
+        circuit.add(component)
+        elements.append(component.name)
+        return component
+
+    # ------------------------------------------------------------------
+    # Load circuit: Q0 diode ∥ R0 ∥ C0 from vtest to vout.
+    # ------------------------------------------------------------------
+    add(Bjt(f"{name}.Q0", vtest_net, vtest_net, vout,
+            **_scaled_bjt_params(tech, detector_config.load_area)))
+    add(Resistor(f"{name}.R0", vtest_net, vout, config.r0))
+    add(Capacitor(f"{name}.C0", vout, vtest_net, config.c0))
+
+    # ------------------------------------------------------------------
+    # Comparison amplifier supplied from vtest, reduced swing, positive
+    # feedback through vfb (its complementary output = its reference).
+    # ------------------------------------------------------------------
+    vfb = f"{name}.vfb"
+    cout = f"{name}.cout"
+    ctail = f"{name}.ctail"
+    add(Resistor(f"{name}.RC1", vtest_net, vfb, config.rc))
+    add(Resistor(f"{name}.RC2", vtest_net, cout, config.rc))
+    add(Bjt(f"{name}.QC1", vfb, vout, ctail,
+            **_scaled_bjt_params(tech, config.input_offset_area)))
+    if config.feedback:
+        reference = vfb
+    else:
+        # Ablation: fixed reference centred between pass and fail levels.
+        reference = f"{name}.vref"
+        add(Resistor(f"{name}.RREF1", vtest_net, reference, 1000.0))
+        add(Resistor(f"{name}.RREF2", reference, VEE_NET,
+                     1000.0 * (tech.vtest - 0.06) / max(0.06, 1e-3)))
+    add(Bjt(f"{name}.QC2", cout, reference, ctail, **tech.bjt_params()))
+    # Tail source scaled to the comparator current.
+    tail_scale = config.itail / tech.itail
+    add(Bjt(f"{name}.QC3", ctail, VCS_NET, VEE_NET,
+            **_scaled_bjt_params(tech, tail_scale)))
+
+    # ------------------------------------------------------------------
+    # Level restoration: emitter followers off cout/vfb, then a standard
+    # vgnd-supplied CML buffer regenerating full-swing levels.
+    # ------------------------------------------------------------------
+    fo_p, fo_n = f"{name}.fo_p", f"{name}.fo_n"
+    follower_r = (tech.vtest - tech.vbe_on) / tech.itail
+    add(Bjt(f"{name}.QF1", vtest_net, cout, fo_p, **tech.bjt_params()))
+    add(Resistor(f"{name}.RF1", fo_p, VEE_NET, follower_r))
+    add(Bjt(f"{name}.QF2", vtest_net, reference, fo_n, **tech.bjt_params()))
+    add(Resistor(f"{name}.RF2", fo_n, VEE_NET, follower_r))
+
+    flag, flagb = f"{name}.flag", f"{name}.flagb"
+    rtail = f"{name}.rtail"
+    add(Resistor(f"{name}.RR1", VGND_NET, flag, tech.rc))
+    add(Resistor(f"{name}.RR2", VGND_NET, flagb, tech.rc))
+    add(Bjt(f"{name}.QR1", flagb, fo_p, rtail, **tech.bjt_params()))
+    add(Bjt(f"{name}.QR2", flag, fo_n, rtail, **tech.bjt_params()))
+    add(Bjt(f"{name}.QR3", rtail, VCS_NET, VEE_NET, **tech.bjt_params()))
+
+    return MonitorNets(vout=vout, vfb=vfb, cout=cout, flag=flag,
+                       flagb=flagb, elements=elements)

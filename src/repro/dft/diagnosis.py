@@ -1,0 +1,165 @@
+"""Fault localization through the shared monitors (extension).
+
+A shared monitor (Fig. 13) flags a *group* of up to 45 gates; the paper
+stops at detection.  Localization inside the group is possible for the
+polarity-dependent fault class — defects that deepen only ONE output of
+one gate (e.g. a resistive leak from `op` to vee, or a single-sided pipe
+in a stacked gate, §6.6's "defects [that] modify the amplitude of only
+one output").  Such a fault asserts exactly when the logic value of its
+gate puts the damaged side low, so the *pattern* of flag observations
+across test vectors is a signature of (gate, side):
+
+* side ``op`` low  ⟺ gate output = 0
+* side ``opb`` low ⟺ gate output = 1
+
+:func:`diagnose` intersects the observed flag pattern with the predicted
+assertion pattern of every (gate, side) candidate, using the very same
+gate-level network that drove sensitization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..testgen.logic import LogicNetwork, Value
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One hypothesis: the fault sits on ``gate``'s ``side`` output."""
+
+    gate: str
+    side: str  # "op" (asserted when output = 0) or "opb" (output = 1)
+
+    def asserted_by(self, output_value: Value) -> Optional[bool]:
+        """Whether this fault would be asserted at ``output_value``.
+
+        None propagates unknowns (an X output predicts nothing).
+        """
+        if output_value is None:
+            return None
+        return output_value is (self.side == "opb")
+
+
+@dataclass
+class Observation:
+    """One applied vector and the monitor's verdict."""
+
+    vector: Dict[str, bool]
+    flagged: bool
+
+
+@dataclass
+class DiagnosisResult:
+    """Candidates consistent with every observation."""
+
+    candidates: List[Candidate]
+    observations: List[Observation] = field(repr=False,
+                                            default_factory=list)
+
+    @property
+    def localized(self) -> bool:
+        """True when the fault is pinned to a single gate."""
+        return len({c.gate for c in self.candidates}) == 1
+
+    def gates(self) -> List[str]:
+        return sorted({c.gate for c in self.candidates})
+
+
+def candidate_space(network: LogicNetwork,
+                    group_gates: Sequence[str]) -> List[Candidate]:
+    """All (gate, side) hypotheses for a monitor group."""
+    space = []
+    for gate_name in group_gates:
+        if gate_name not in network.gates:
+            raise KeyError(f"no gate {gate_name!r} in network")
+        space.append(Candidate(gate_name, "op"))
+        space.append(Candidate(gate_name, "opb"))
+    return space
+
+
+def diagnose(network: LogicNetwork,
+             group_gates: Sequence[str],
+             observations: Sequence[Observation]) -> DiagnosisResult:
+    """Intersect the flag observations with each candidate's prediction.
+
+    A candidate survives if, for every observation, its predicted
+    assertion matches the flag (unknown predictions are neutral).  With
+    enough distinguishing vectors the survivors collapse to one gate.
+    Combinational networks only (sequential localization needs the
+    initialization machinery first).
+    """
+    survivors = []
+    for candidate in candidate_space(network, group_gates):
+        output_net = network.gates[candidate.gate].output
+        consistent = True
+        for observation in observations:
+            values = network.evaluate(observation.vector)
+            predicted = candidate.asserted_by(values.get(output_net))
+            if predicted is None:
+                continue
+            if predicted != observation.flagged:
+                consistent = False
+                break
+        if consistent:
+            survivors.append(candidate)
+    return DiagnosisResult(candidates=survivors,
+                           observations=list(observations))
+
+
+def distinguishing_vectors(network: LogicNetwork,
+                           group_gates: Sequence[str],
+                           max_vectors: int = 64,
+                           seed: int = 17) -> List[Dict[str, bool]]:
+    """A vector set that separates the candidate space as far as the
+    network structurally allows.
+
+    Greedy: repeatedly pick the vector that splits the largest number of
+    currently-indistinguishable candidate pairs.  Exhaustive for small
+    input counts, seeded-random sampling above that.
+    """
+    from ..testgen.patterns import exhaustive_vectors, random_vectors
+
+    inputs = network.primary_inputs
+    if len(inputs) <= 10:
+        pool = list(exhaustive_vectors(inputs))
+    else:
+        pool = random_vectors(inputs, max_vectors * 4, seed=seed)
+
+    candidates = candidate_space(network, group_gates)
+
+    def signature(vector: Dict[str, bool]) -> Tuple:
+        values = network.evaluate(vector)
+        return tuple(c.asserted_by(values.get(network.gates[c.gate].output))
+                     for c in candidates)
+
+    chosen: List[Dict[str, bool]] = []
+    signatures: Dict[int, List] = {i: [] for i in range(len(candidates))}
+    while len(chosen) < max_vectors and pool:
+        best_vector, best_gain = None, 0
+        # Count currently-merged candidate pairs a vector would split.
+        def merged_pairs() -> List[Tuple[int, int]]:
+            pairs = []
+            for i in range(len(candidates)):
+                for j in range(i + 1, len(candidates)):
+                    if signatures[i] == signatures[j]:
+                        pairs.append((i, j))
+            return pairs
+
+        pairs = merged_pairs()
+        if not pairs:
+            break
+        for vector in pool:
+            marks = signature(vector)
+            gain = sum(1 for i, j in pairs if marks[i] != marks[j])
+            if gain > best_gain:
+                best_vector, best_gain = vector, gain
+        if best_vector is None:
+            break
+        marks = signature(best_vector)
+        for index in range(len(candidates)):
+            signatures[index].append(marks[index])
+        chosen.append(best_vector)
+        pool.remove(best_vector)
+    return chosen

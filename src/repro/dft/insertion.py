@@ -1,0 +1,85 @@
+"""DFT insertion: instrument whole designs with built-in detectors.
+
+"Instead of testing the circuits at the primary outputs, the testing is
+performed on all gate outputs through these built-in detectors."  This
+module walks a composed design, finds every monitored output pair, splits
+them into sharing groups and attaches shared variant-3 monitors — the
+end-to-end flow a library user would run on their own CML design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..circuit.sources import Waveform
+from ..cml.chain import BufferChain
+from ..cml.technology import CmlTechnology, NOMINAL
+from .comparator import ComparatorConfig, DEFAULT_COMPARATOR
+from .detectors import DetectorConfig, DEFAULT_CONFIG
+from .sharing import SharedMonitor, build_shared_monitor, group_pairs
+
+#: Paper's safe sharing bound: one load circuit per 45 gates.
+MAX_SAFE_SHARE = 45
+
+
+@dataclass
+class InstrumentedDesign:
+    """A design plus the monitors inserted into it."""
+
+    circuit: Circuit
+    monitors: List[SharedMonitor] = field(default_factory=list)
+
+    @property
+    def n_monitored_gates(self) -> int:
+        return sum(m.n_gates for m in self.monitors)
+
+    def flag_nets(self) -> List[Tuple[str, str]]:
+        """All ``(flag, flagb)`` pairs, one per monitor group."""
+        return [(m.nets.flag, m.nets.flagb) for m in self.monitors]
+
+    def monitor_of(self, op_net: str) -> SharedMonitor:
+        """The monitor watching the gate whose output is ``op_net``."""
+        for monitor in self.monitors:
+            if any(op == op_net for op, _ in monitor.monitored):
+                return monitor
+        raise KeyError(f"no monitor watches net {op_net!r}")
+
+
+def instrument_pairs(circuit: Circuit,
+                     pairs: Sequence[Tuple[str, str]],
+                     tech: CmlTechnology = NOMINAL,
+                     max_share: int = MAX_SAFE_SHARE,
+                     detector_config: DetectorConfig = DEFAULT_CONFIG,
+                     comparator_config: ComparatorConfig = DEFAULT_COMPARATOR,
+                     dual_emitter: bool = False,
+                     vtest_waveform: Optional[Waveform] = None,
+                     name_prefix: str = "MON") -> InstrumentedDesign:
+    """Attach shared monitors over explicit output pairs (in place).
+
+    ``name_prefix`` distinguishes monitor groups when instrumenting an
+    already-instrumented circuit (e.g. adding latch-internal detectors).
+    """
+    design = InstrumentedDesign(circuit=circuit)
+    for index, group in enumerate(group_pairs(list(pairs), max_share)):
+        monitor = build_shared_monitor(
+            circuit, group, name=f"{name_prefix}{index}", tech=tech,
+            detector_config=detector_config,
+            comparator_config=comparator_config,
+            dual_emitter=dual_emitter, vtest_waveform=vtest_waveform)
+        design.monitors.append(monitor)
+    return design
+
+
+def instrument_chain(chain: BufferChain,
+                     max_share: int = MAX_SAFE_SHARE,
+                     detector_config: DetectorConfig = DEFAULT_CONFIG,
+                     comparator_config: ComparatorConfig = DEFAULT_COMPARATOR,
+                     dual_emitter: bool = False,
+                     vtest_waveform: Optional[Waveform] = None
+                     ) -> InstrumentedDesign:
+    """Instrument every stage output of a buffer chain (in place)."""
+    return instrument_pairs(chain.circuit, chain.output_nets, chain.tech,
+                            max_share, detector_config, comparator_config,
+                            dual_emitter, vtest_waveform)

@@ -1,0 +1,117 @@
+"""Load sharing: one load circuit + comparator for many gates (Fig. 13).
+
+"In order to reduce the cost of the proposed method, part of the built-in
+detectors can be shared, namely the load circuit as well as the
+comparator."  Each monitored gate contributes only its two detector
+transistors (or one dual-emitter device); all detector collectors join a
+single ``vout`` with one Fig. 11 load + comparator.
+
+The cost of sharing is the fault-free leakage: each gate's off-side
+detector transistor still sinks a small sub-threshold current, and those
+currents add up through R0, lowering vout linearly with N (Fig. 14).  The
+safe group size is the largest N whose fault-free vout stays above the
+comparator's *upper* hysteresis threshold (paper: 45 buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit.components import VoltageSource
+from ..circuit.netlist import Circuit
+from ..circuit.sources import Dc, Pwl, Waveform
+from ..cml.technology import VTEST_NET, CmlTechnology, NOMINAL
+from .comparator import (
+    ComparatorConfig,
+    DEFAULT_COMPARATOR,
+    MonitorNets,
+    attach_comparator,
+)
+from .detectors import (
+    DetectorConfig,
+    DEFAULT_CONFIG,
+    attach_detector_pair_only,
+)
+
+
+def test_mode_entry(tech: CmlTechnology, t_on: float = 2e-9,
+                    ramp: float = 1e-9,
+                    level: Optional[float] = None) -> Waveform:
+    """vtest waveform: vgnd (normal mode) until ``t_on``, then ramp to the
+    test level.  Starting in normal mode gives the detectors a clean DC
+    operating point with vout at its quiescent value."""
+    level = tech.vtest if level is None else level
+    return Pwl([(0.0, tech.vgnd), (t_on, tech.vgnd), (t_on + ramp, level)])
+
+
+def ensure_vtest(circuit: Circuit, tech: CmlTechnology = NOMINAL,
+                 waveform: Optional[Waveform] = None) -> str:
+    """Add the vtest rail source if the circuit does not have one yet.
+
+    Defaults to a DC source already at the test level; pass
+    :func:`test_mode_entry` to model switching into test mode mid-run.
+    """
+    if "VTEST" not in circuit:
+        if waveform is None:
+            waveform = Dc(tech.vtest)
+        circuit.add(VoltageSource("VTEST", VTEST_NET, "0", waveform))
+    return VTEST_NET
+
+
+@dataclass
+class SharedMonitor:
+    """One shared detector group: N gates, one load + comparator."""
+
+    name: str
+    nets: MonitorNets
+    monitored: List[Tuple[str, str]]
+    detector_elements: List[str] = field(default_factory=list)
+
+    @property
+    def vout(self) -> str:
+        return self.nets.vout
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.monitored)
+
+
+def build_shared_monitor(circuit: Circuit,
+                         pairs: Sequence[Tuple[str, str]],
+                         name: str = "MON",
+                         tech: CmlTechnology = NOMINAL,
+                         detector_config: DetectorConfig = DEFAULT_CONFIG,
+                         comparator_config: ComparatorConfig = DEFAULT_COMPARATOR,
+                         dual_emitter: bool = False,
+                         vtest_waveform: Optional[Waveform] = None
+                         ) -> SharedMonitor:
+    """Attach one shared variant-3 monitor over ``pairs`` of outputs.
+
+    ``pairs`` are the ``(op, opb)`` net pairs of the gates sharing this
+    monitor.  Adds the vtest rail if missing.
+    """
+    if not pairs:
+        raise ValueError("a shared monitor needs at least one output pair")
+    ensure_vtest(circuit, tech, vtest_waveform)
+    vout = f"{name}.vout"
+    detector_elements: List[str] = []
+    for index, (op, opb) in enumerate(pairs):
+        detector_elements += attach_detector_pair_only(
+            circuit, op, opb, vout, f"{name}.D{index}", tech,
+            detector_config, dual_emitter=dual_emitter)
+    nets = attach_comparator(circuit, vout, name, tech, comparator_config,
+                             detector_config)
+    return SharedMonitor(name=name, nets=nets, monitored=list(pairs),
+                         detector_elements=detector_elements)
+
+
+def group_pairs(pairs: Sequence[Tuple[str, str]],
+                max_share: int) -> List[List[Tuple[str, str]]]:
+    """Split output pairs into monitor groups of at most ``max_share``."""
+    if max_share < 1:
+        raise ValueError("max_share must be at least 1")
+    groups = []
+    for start in range(0, len(pairs), max_share):
+        groups.append(list(pairs[start:start + max_share]))
+    return groups

@@ -1,0 +1,98 @@
+"""Prior-art baseline: Menon's XOR observer [4].
+
+"A simple technique to test for like-faults in ECL was devised by Menon.
+The proposed technique uses a standard XOR gate to verify the
+complementary behaviour of the gate outputs.  This technique introduces a
+very high area overhead (one test gate for every circuit gate)."
+
+The observer XORs a monitored output pair with itself in inverted
+polarity: seen as logic values, ``op XOR (NOT op)`` is constantly 1, so
+the observer output sits at logic high whenever the pair behaves
+complementarily.  A *like-fault* (both outputs dragged to the same level,
+e.g. an output-pair bridge) collapses the differential inputs and the
+observer output degenerates toward its undefined mid-band — that is the
+detection signature.
+
+Implemented with the library's own two-level XOR cell plus the level
+shifters its lower input needs, so the area cost ("one test gate per
+circuit gate" + shifters) is measured rather than asserted.  The
+comparison bench shows the blind spot that motivates the paper: an
+amplitude fault (current-source pipe) keeps the outputs perfectly
+complementary as logic values, so the XOR observer sees nothing while
+the amplitude detector fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..circuit.netlist import Circuit
+from ..circuit.subcircuit import instantiate
+from ..cml.cells import level_shifter_cell, transistor_count, xor2_cell
+from ..cml.technology import VCS_NET, VGND_NET, CmlTechnology, NOMINAL
+
+
+@dataclass
+class XorObserver:
+    """One attached observer: output nets and bookkeeping."""
+
+    name: str
+    monitored: Tuple[str, str]
+    output: Tuple[str, str]
+    n_transistors: int
+    elements: List[str] = field(default_factory=list)
+
+
+def attach_xor_observer(circuit: Circuit, op: str, opb: str,
+                        name: str = "XOBS",
+                        tech: CmlTechnology = NOMINAL) -> XorObserver:
+    """Attach an XOR complementarity observer to one output pair.
+
+    The observer computes ``value XOR inverted-value``: input A is the
+    differential pair ``(op, opb)``, input B the same pair crossed, level
+    shifted down one VBE for the lower differential level.  The output
+    pair ``<name>.good`` / ``<name>.goodb`` reads logic 1 while the pair
+    is complementary.
+    """
+    shifter = level_shifter_cell(tech)
+    low_p, low_n = f"{name}.bl", f"{name}.blb"
+    elements = []
+    # Input B = NOT(A): crossed connection, then shifted one VBE down.
+    for instance, source, target in (
+            (f"{name}.LSP", opb, low_p), (f"{name}.LSN", op, low_n)):
+        added = instantiate(circuit, shifter, instance,
+                            {"inp": source, "out": target,
+                             VGND_NET: VGND_NET})
+        elements += [c.name for c in added.components]
+
+    xor_cell = xor2_cell(tech)
+    good_p, good_n = f"{name}.good", f"{name}.goodb"
+    added = instantiate(circuit, xor_cell, f"{name}.X", {
+        "a": op, "ab": opb, "bl": low_p, "blb": low_n,
+        "op": good_p, "opb": good_n,
+        VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+    elements += [c.name for c in added.components]
+
+    n_transistors = transistor_count(xor_cell) + 2
+    return XorObserver(name=name, monitored=(op, opb),
+                       output=(good_p, good_n),
+                       n_transistors=n_transistors, elements=elements)
+
+
+def observer_verdict(voltage_of, observer: XorObserver,
+                     tech: CmlTechnology = NOMINAL,
+                     margin: float = 0.5) -> str:
+    """Classify the observer output: "good", "fault" or "weak".
+
+    ``voltage_of`` is a net → volts accessor (DC solution or a waveform
+    sample).  A healthy pair gives a full positive differential; a
+    like-fault collapses it below ``margin`` of the nominal swing.
+    """
+    differential = (voltage_of(observer.output[0])
+                    - voltage_of(observer.output[1]))
+    if differential > margin * tech.swing:
+        return "good"
+    if differential < -margin * tech.swing:
+        return "fault"
+    return "weak"

@@ -1,0 +1,190 @@
+"""Fault-simulation campaigns: defects × detection oracles.
+
+The paper's thesis is that amplitude detectors *complement* existing
+tests: stuck-at faults fall to logic testing, gross shorts to Iddq, and
+the parametric excursion class — invisible to both — to the built-in
+detectors.  This module makes that comparison a first-class operation: a
+campaign runs every defect of a catalog against a set of *oracles* (ways
+of deciding pass/fail) and tabulates which test catches what.
+
+Oracles judge DC operating points.  That matches the paper's §6.6 DC
+test discussion; dynamic detection (toggling faults) is exercised by the
+transient experiments in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..sim.dc import ConvergenceError, DcSolution, operating_point
+from .defects import Defect
+from .injector import inject
+
+#: Verdicts an oracle can return.
+PASS = "pass"
+FAIL = "fail"
+
+
+class Oracle:
+    """A pass/fail judgement over a faulty operating point."""
+
+    name = "oracle"
+
+    def prepare(self, reference: DcSolution) -> None:
+        """Capture whatever the oracle needs from the fault-free OP."""
+
+    def judge(self, solution: DcSolution) -> str:
+        """Return :data:`PASS` or :data:`FAIL` for a faulty OP."""
+        raise NotImplementedError
+
+
+class FlagOracle(Oracle):
+    """Reads a built-in monitor's flag pair (the paper's detector)."""
+
+    name = "detector"
+
+    def __init__(self, flag: str, flagb: str):
+        self.flag = flag
+        self.flagb = flagb
+
+    def judge(self, solution: DcSolution) -> str:
+        good = solution.voltage(self.flag) > solution.voltage(self.flagb)
+        return PASS if good else FAIL
+
+
+class IddqOracle(Oracle):
+    """Supply-current screen: fails when Iddq shifts beyond a threshold."""
+
+    name = "iddq"
+
+    def __init__(self, supply_source: str = "VGND",
+                 threshold: float = 100e-6):
+        self.supply_source = supply_source
+        self.threshold = threshold
+        self._reference: Optional[float] = None
+
+    def prepare(self, reference: DcSolution) -> None:
+        self._reference = reference.branch_current(self.supply_source)
+
+    def judge(self, solution: DcSolution) -> str:
+        if self._reference is None:
+            raise RuntimeError("IddqOracle.prepare was never called")
+        delta = solution.branch_current(self.supply_source) - self._reference
+        return FAIL if abs(delta) > self.threshold else PASS
+
+
+class LogicOracle(Oracle):
+    """Logic test at DC: compares differential output polarities against
+    the fault-free reference (catches stuck-at-class defects)."""
+
+    name = "logic"
+
+    def __init__(self, output_pairs: Sequence[Tuple[str, str]]):
+        self.output_pairs = list(output_pairs)
+        self._reference: Optional[List[bool]] = None
+
+    @staticmethod
+    def _read(solution: DcSolution,
+              pairs: Sequence[Tuple[str, str]]) -> List[bool]:
+        return [solution.voltage(p) > solution.voltage(n)
+                for p, n in pairs]
+
+    def prepare(self, reference: DcSolution) -> None:
+        self._reference = self._read(reference, self.output_pairs)
+
+    def judge(self, solution: DcSolution) -> str:
+        if self._reference is None:
+            raise RuntimeError("LogicOracle.prepare was never called")
+        observed = self._read(solution, self.output_pairs)
+        return FAIL if observed != self._reference else PASS
+
+
+@dataclass
+class FaultRecord:
+    """Outcome of one injected defect across all oracles."""
+
+    defect: Defect
+    verdicts: Dict[str, str]
+    converged: bool = True
+
+    def caught_by(self) -> List[str]:
+        return [name for name, verdict in self.verdicts.items()
+                if verdict == FAIL]
+
+
+@dataclass
+class CampaignResult:
+    """All fault records plus tabulation helpers."""
+
+    records: List[FaultRecord] = field(default_factory=list)
+    oracle_names: List[str] = field(default_factory=list)
+
+    def coverage_matrix(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
+        """kind -> oracle -> (caught, total); non-converged defects
+        count as caught by every oracle (catastrophically broken)."""
+        matrix: Dict[str, Dict[str, List[int]]] = {}
+        for record in self.records:
+            kind_row = matrix.setdefault(
+                record.defect.kind,
+                {name: [0, 0] for name in self.oracle_names + ["any"]})
+            caught = record.caught_by()
+            for name in self.oracle_names:
+                kind_row[name][1] += 1
+                if not record.converged or name in caught:
+                    kind_row[name][0] += 1
+            kind_row["any"][1] += 1
+            if not record.converged or caught:
+                kind_row["any"][0] += 1
+        return {kind: {name: (v[0], v[1]) for name, v in row.items()}
+                for kind, row in matrix.items()}
+
+    def escapes(self) -> List[FaultRecord]:
+        """Defects no oracle caught."""
+        return [r for r in self.records
+                if r.converged and not r.caught_by()]
+
+    def format(self) -> str:
+        from ..analysis.reporting import format_table
+
+        matrix = self.coverage_matrix()
+        headers = ["defect kind"] + self.oracle_names + ["any"]
+        rows = []
+        for kind in sorted(matrix):
+            row = [kind]
+            for name in self.oracle_names + ["any"]:
+                caught, total = matrix[kind][name]
+                row.append(f"{caught}/{total}")
+            rows.append(row)
+        return format_table(headers, rows,
+                            title="Fault campaign coverage matrix")
+
+
+def run_campaign(circuit: Circuit, defects: Sequence[Defect],
+                 oracles: Sequence[Oracle]) -> CampaignResult:
+    """Inject each defect, solve DC, collect every oracle's verdict.
+
+    ``circuit`` must already contain whatever the oracles read (monitor
+    flags, supply sources).  Defects whose operating point cannot be
+    solved are recorded as non-converged (trivially detectable).
+    """
+    reference = operating_point(circuit)
+    for oracle in oracles:
+        oracle.prepare(reference)
+
+    result = CampaignResult(oracle_names=[o.name for o in oracles])
+    for defect in defects:
+        faulty = inject(circuit, defect)
+        try:
+            solution = operating_point(faulty)
+        except ConvergenceError:
+            result.records.append(FaultRecord(
+                defect=defect,
+                verdicts={o.name: FAIL for o in oracles},
+                converged=False))
+            continue
+        verdicts = {oracle.name: oracle.judge(solution)
+                    for oracle in oracles}
+        result.records.append(FaultRecord(defect=defect, verdicts=verdicts))
+    return result

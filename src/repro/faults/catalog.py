@@ -1,0 +1,135 @@
+"""Fault-site enumeration.
+
+"If the objective is to evaluate fault coverage accurately, the
+distributions of defect size and occurrence probability in different
+layers are needed.  Such information is usually unavailable, and it is
+thus common to treat defects as equiprobable." (section 3)
+
+The catalog enumerates every candidate defect of each class over a
+circuit, treating sites as equiprobable, so coverage experiments can
+iterate ``for defect in enumerate_defects(circuit): ...``.  Supply
+elements (sources, rails) are excluded by default — the paper studies
+defects inside the logic cells.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Set
+
+from ..circuit.components import Resistor, VoltageSource
+from ..circuit.devices import Bjt, MultiEmitterBjt
+from ..circuit.netlist import GROUND, Circuit
+from .defects import (
+    Bridge,
+    Defect,
+    Pipe,
+    ResistorOpen,
+    ResistorShort,
+    TerminalOpen,
+    TerminalShort,
+)
+
+#: Defect kinds enumerated by default (all of section 3).
+ALL_KINDS = ("pipe", "terminal-short", "open", "resistor-short",
+             "resistor-open", "bridge")
+
+
+def _is_fault_element(name: str) -> bool:
+    return name.startswith("FAULT_")
+
+
+def transistor_sites(circuit: Circuit) -> List[str]:
+    """Names of all bipolar transistors eligible for device defects."""
+    devices = circuit.components_of_type(Bjt)
+    devices += circuit.components_of_type(MultiEmitterBjt)
+    return [d.name for d in devices if not _is_fault_element(d.name)]
+
+
+def resistor_sites(circuit: Circuit) -> List[str]:
+    """Names of all resistors eligible for strip defects."""
+    return [r.name for r in circuit.components_of_type(Resistor)
+            if not _is_fault_element(r.name)]
+
+
+def signal_nets(circuit: Circuit) -> List[str]:
+    """Nets eligible as bridge endpoints: everything except ground and
+    nets pinned by voltage sources (bridging a rail to itself is not a
+    signal-layer defect the paper studies)."""
+    pinned: Set[str] = {GROUND}
+    for source in circuit.components_of_type(VoltageSource):
+        pinned.add(source.net("p"))
+    return [n for n in circuit.nets() if n not in pinned]
+
+
+def _same_cell(net_a: str, net_b: str) -> bool:
+    """Heuristic layout adjacency: nets of the same cell instance.
+
+    Without layout data, bridges are restricted to nets sharing an
+    instance prefix (or both top-level), approximating physical
+    proximity inside a placed cell.
+    """
+    prefix_a = net_a.rsplit(".", 1)[0] if "." in net_a else ""
+    prefix_b = net_b.rsplit(".", 1)[0] if "." in net_b else ""
+    return prefix_a == prefix_b
+
+
+def enumerate_defects(circuit: Circuit,
+                      kinds: Sequence[str] = ALL_KINDS,
+                      pipe_resistances: Sequence[float] = (4e3,),
+                      include_bridges_across_cells: bool = False,
+                      ) -> Iterator[Defect]:
+    """Yield every candidate defect of the requested ``kinds``.
+
+    ``pipe_resistances`` generates one pipe per value per transistor
+    (the paper sweeps 1-5 kΩ).  Bridge enumeration is quadratic in nets;
+    it is restricted to same-cell pairs unless
+    ``include_bridges_across_cells`` is set.
+    """
+    unknown = set(kinds) - set(ALL_KINDS)
+    if unknown:
+        raise ValueError(f"unknown defect kinds: {sorted(unknown)}")
+
+    transistors = transistor_sites(circuit)
+    resistors = resistor_sites(circuit)
+
+    if "pipe" in kinds:
+        for name in transistors:
+            for resistance in pipe_resistances:
+                yield Pipe(name, resistance)
+
+    if "terminal-short" in kinds:
+        for name in transistors:
+            device = circuit[name]
+            terminals = list(device.terminals)
+            for term_a, term_b in itertools.combinations(terminals, 2):
+                if device.net(term_a) != device.net(term_b):
+                    yield TerminalShort(name, term_a, term_b)
+
+    if "open" in kinds:
+        for name in transistors:
+            for terminal in circuit[name].terminals:
+                yield TerminalOpen(name, terminal)
+
+    if "resistor-short" in kinds:
+        for name in resistors:
+            yield ResistorShort(name)
+
+    if "resistor-open" in kinds:
+        for name in resistors:
+            yield ResistorOpen(name)
+
+    if "bridge" in kinds:
+        nets = signal_nets(circuit)
+        for net_a, net_b in itertools.combinations(nets, 2):
+            if include_bridges_across_cells or _same_cell(net_a, net_b):
+                yield Bridge(net_a, net_b)
+
+
+def catalog_summary(circuit: Circuit,
+                    kinds: Sequence[str] = ALL_KINDS) -> dict:
+    """Count of candidate defects per kind (coverage-report header)."""
+    counts: dict = {}
+    for defect in enumerate_defects(circuit, kinds):
+        counts[defect.kind] = counts.get(defect.kind, 0) + 1
+    return counts

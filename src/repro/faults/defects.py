@@ -1,0 +1,221 @@
+"""Electrical defect models (paper section 3).
+
+The paper models manufacturing defects at the device level, exactly as
+reproduced here:
+
+* **shorts / bridges** — "a resistor of small value (~1 Ω) can be used to
+  model shorts and bridges";
+* **opens** — "split a node and add a 100 MΩ resistor in parallel to a
+  1 fF capacitor to link the two parts together";
+* **pipes** — "usually modelled by a resistor of a few KΩ between the
+  collector and emitter of a transistor" (dislocation through the base of
+  a vertical NPN).
+
+Every defect is a small declarative object with an ``apply`` method that
+mutates a circuit (the injector in :mod:`repro.faults.injector` always
+passes a copy).  Injected elements are named ``FAULT_*`` so experiments
+can identify and strip them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List
+
+from ..circuit.components import Capacitor, Resistor
+from ..circuit.devices import Bjt, MultiEmitterBjt
+from ..circuit.netlist import Circuit
+
+#: Canonical model values from section 3 of the paper.
+SHORT_RESISTANCE = 1.0
+OPEN_RESISTANCE = 100e6
+OPEN_CAPACITANCE = 1e-15
+DEFAULT_PIPE_RESISTANCE = 4e3
+
+
+class Defect:
+    """Base class: a physical defect mapped to a netlist transformation."""
+
+    #: Short tag used in fault-catalog identifiers.
+    kind: ClassVar[str] = "defect"
+
+    def apply(self, circuit: Circuit) -> None:
+        """Mutate ``circuit`` to contain this defect."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, usable as a dict key in coverage tables."""
+        return self.describe().replace(" ", "_")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _unique_name(circuit: Circuit, stem: str) -> str:
+    if stem not in circuit:
+        return stem
+    index = 2
+    while f"{stem}_{index}" in circuit:
+        index += 1
+    return f"{stem}_{index}"
+
+
+@dataclass(frozen=True)
+class Pipe(Defect):
+    """Collector-emitter pipe on a bipolar transistor.
+
+    The paper's headline defect: an uncompensated parallel current path
+    that, on a current-source transistor, raises the tail current and the
+    output swing of the gate (section 5).
+    """
+
+    transistor: str
+    resistance: float = DEFAULT_PIPE_RESISTANCE
+
+    kind: ClassVar[str] = "pipe"
+
+    def apply(self, circuit: Circuit) -> None:
+        device = circuit[self.transistor]
+        if not isinstance(device, (Bjt, MultiEmitterBjt)):
+            raise TypeError(f"{self.transistor} is not a bipolar transistor")
+        emitter = "e" if isinstance(device, Bjt) else "e1"
+        circuit.add(Resistor(
+            _unique_name(circuit, f"FAULT_PIPE_{self.transistor}"),
+            device.net("c"), device.net(emitter), self.resistance))
+
+    def describe(self) -> str:
+        return f"pipe {self.resistance:g}Ohm on {self.transistor} C-E"
+
+
+@dataclass(frozen=True)
+class TerminalShort(Defect):
+    """Resistive short between two terminals of one device.
+
+    ``TerminalShort("DUT.Q2", "c", "e")`` is the Fig. 2 stuck-at-0 defect.
+    """
+
+    component: str
+    terminal_a: str
+    terminal_b: str
+    resistance: float = SHORT_RESISTANCE
+
+    kind: ClassVar[str] = "terminal-short"
+
+    def apply(self, circuit: Circuit) -> None:
+        device = circuit[self.component]
+        net_a = device.net(self.terminal_a)
+        net_b = device.net(self.terminal_b)
+        if net_a == net_b:
+            raise ValueError(
+                f"{self.component}: terminals {self.terminal_a}/"
+                f"{self.terminal_b} share a net; short is a no-op")
+        circuit.add(Resistor(
+            _unique_name(circuit, f"FAULT_SHORT_{self.component}"),
+            net_a, net_b, self.resistance))
+
+    def describe(self) -> str:
+        return (f"short {self.component} {self.terminal_a}-"
+                f"{self.terminal_b} ({self.resistance:g}Ohm)")
+
+
+@dataclass(frozen=True)
+class Bridge(Defect):
+    """Resistive bridge between two signal nets (metal-layer defect)."""
+
+    net_a: str
+    net_b: str
+    resistance: float = SHORT_RESISTANCE
+
+    kind: ClassVar[str] = "bridge"
+
+    def apply(self, circuit: Circuit) -> None:
+        nets = circuit.nets()
+        for net in (self.net_a, self.net_b):
+            if net not in nets:
+                raise KeyError(f"bridge endpoint {net!r} not in circuit")
+        if self.net_a == self.net_b:
+            raise ValueError("bridge endpoints must differ")
+        circuit.add(Resistor(
+            _unique_name(circuit, f"FAULT_BRIDGE_{self.net_a}_{self.net_b}"),
+            self.net_a, self.net_b, self.resistance))
+
+    def describe(self) -> str:
+        return f"bridge {self.net_a}~{self.net_b} ({self.resistance:g}Ohm)"
+
+
+@dataclass(frozen=True)
+class TerminalOpen(Defect):
+    """Open at one device terminal (severed contact / wire).
+
+    Splits the terminal onto a fresh net and reconnects through the
+    paper's 100 MΩ ∥ 1 fF open model.
+    """
+
+    component: str
+    terminal: str
+    resistance: float = OPEN_RESISTANCE
+    capacitance: float = OPEN_CAPACITANCE
+
+    kind: ClassVar[str] = "open"
+
+    def apply(self, circuit: Circuit) -> None:
+        old_net, new_net = circuit.split_terminal(self.component,
+                                                  self.terminal)
+        stem = f"FAULT_OPEN_{self.component}_{self.terminal}"
+        circuit.add(Resistor(_unique_name(circuit, f"{stem}_R"),
+                             old_net, new_net, self.resistance))
+        circuit.add(Capacitor(_unique_name(circuit, f"{stem}_C"),
+                              old_net, new_net, self.capacitance))
+
+    def describe(self) -> str:
+        return f"open at {self.component}.{self.terminal}"
+
+
+@dataclass(frozen=True)
+class ResistorShort(Defect):
+    """Short across a resistor strip (the resistor effectively vanishes)."""
+
+    resistor: str
+    resistance: float = SHORT_RESISTANCE
+
+    kind: ClassVar[str] = "resistor-short"
+
+    def apply(self, circuit: Circuit) -> None:
+        component = circuit[self.resistor]
+        if not isinstance(component, Resistor):
+            raise TypeError(f"{self.resistor} is not a resistor")
+        circuit.add(Resistor(
+            _unique_name(circuit, f"FAULT_RSHORT_{self.resistor}"),
+            component.net("p"), component.net("n"), self.resistance))
+
+    def describe(self) -> str:
+        return f"short across {self.resistor}"
+
+
+@dataclass(frozen=True)
+class ResistorOpen(Defect):
+    """Severed resistor strip: the element is bypassed into the open model."""
+
+    resistor: str
+
+    kind: ClassVar[str] = "resistor-open"
+
+    def apply(self, circuit: Circuit) -> None:
+        component = circuit[self.resistor]
+        if not isinstance(component, Resistor):
+            raise TypeError(f"{self.resistor} is not a resistor")
+        TerminalOpen(self.resistor, "p").apply(circuit)
+
+    def describe(self) -> str:
+        return f"open resistor {self.resistor}"
+
+
+#: All concrete defect classes, for catalog enumeration.
+DEFECT_CLASSES: List[type] = [
+    Pipe, TerminalShort, Bridge, TerminalOpen, ResistorShort, ResistorOpen,
+]

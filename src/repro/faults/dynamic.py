@@ -1,0 +1,104 @@
+"""Dynamic fault campaigns: assert faults by toggling (§6.6).
+
+The static campaign (:mod:`repro.faults.campaign`) judges DC operating
+points, which misses polarity-dependent faults — "the fault must be
+asserted by sensitizing a path through the faulty gate and make its
+output toggle.  In this case the fault is asserted half the cycles."
+:func:`run_dynamic_campaign` replays the static escapes with a toggling
+stimulus and reads the monitor flag over the whole run: a fault is
+caught if the flag ever spends a settled stretch in the FAIL state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..sim.dc import ConvergenceError
+from ..sim.sweep import run_cycles
+from .defects import Defect
+from .injector import inject
+
+
+@dataclass
+class DynamicRecord:
+    """Outcome of one defect under toggling stimulus."""
+
+    defect: Defect
+    caught: bool
+    min_flag_differential: float
+    converged: bool = True
+
+
+@dataclass
+class DynamicCampaignResult:
+    """Dynamic detection outcomes plus per-kind tabulation."""
+
+    records: List[DynamicRecord] = field(default_factory=list)
+
+    def by_kind(self) -> Dict[str, Tuple[int, int]]:
+        table: Dict[str, List[int]] = {}
+        for record in self.records:
+            entry = table.setdefault(record.defect.kind, [0, 0])
+            entry[1] += 1
+            if record.caught or not record.converged:
+                entry[0] += 1
+        return {k: (v[0], v[1]) for k, v in table.items()}
+
+    @property
+    def caught_fraction(self) -> float:
+        if not self.records:
+            return 1.0
+        caught = sum(1 for r in self.records
+                     if r.caught or not r.converged)
+        return caught / len(self.records)
+
+    def format(self) -> str:
+        from ..analysis.reporting import format_table
+
+        rows = [[kind, hit, total, f"{hit / total * 100:.0f}%"]
+                for kind, (hit, total) in sorted(self.by_kind().items())]
+        return format_table(
+            ["defect kind", "caught", "total", "coverage"], rows,
+            title=(f"Dynamic (toggling) campaign: "
+                   f"{self.caught_fraction * 100:.0f}% of "
+                   f"{len(self.records)} defects"))
+
+
+def run_dynamic_campaign(circuit: Circuit,
+                         defects: Sequence[Defect],
+                         flag: str, flagb: str,
+                         frequency: float = 100e6,
+                         cycles: float = 4.0,
+                         points_per_cycle: int = 200,
+                         settle_fraction: float = 0.25
+                         ) -> DynamicCampaignResult:
+    """Transient fault campaign against a monitor's flag pair.
+
+    ``circuit`` must carry a toggling stimulus and the monitor whose
+    ``flag``/``flagb`` nets are read.  A defect is *caught* when the
+    flag differential goes negative after the settle window (the
+    comparator hysteresis latches real detections, so a single settled
+    excursion suffices).  Non-convergent operating points count as
+    caught (catastrophic faults).
+    """
+    result = DynamicCampaignResult()
+    for defect in defects:
+        faulty = inject(circuit, defect)
+        try:
+            run = run_cycles(faulty, frequency, cycles=cycles,
+                             points_per_cycle=points_per_cycle)
+        except ConvergenceError:
+            result.records.append(DynamicRecord(
+                defect=defect, caught=True,
+                min_flag_differential=float("nan"), converged=False))
+            continue
+        flag_diff = run.wave(flag) - run.wave(flagb)
+        t_settle = settle_fraction * float(run.times[-1])
+        window = flag_diff.window(t_settle, float(run.times[-1]))
+        minimum = window.minimum()
+        result.records.append(DynamicRecord(
+            defect=defect, caught=minimum < 0.0,
+            min_flag_differential=minimum))
+    return result

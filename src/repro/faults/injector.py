@@ -1,0 +1,54 @@
+"""Defect injection: produce faulty copies of a circuit.
+
+The paper simulates a fault-free chain and a faulty chain side by side
+(Fig. 3a/3b); :func:`inject` keeps that workflow: the original circuit is
+never mutated, and the returned copy carries ``FAULT_*`` elements plus an
+``injected_defects`` attribute for bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from ..circuit.netlist import Circuit
+from .defects import Defect
+
+
+def inject(circuit: Circuit, defects: Union[Defect, Sequence[Defect]]) -> Circuit:
+    """Return a copy of ``circuit`` containing ``defects``.
+
+    Accepts a single defect or a sequence (multiple simultaneous defects,
+    e.g. for masking studies).  The copy records the applied defects in
+    ``circuit.injected_defects``.
+    """
+    if isinstance(defects, Defect):
+        defects = [defects]
+    faulty = circuit.copy()
+    applied: List[Defect] = []
+    for defect in defects:
+        defect.apply(faulty)
+        applied.append(defect)
+    faulty.title = f"{circuit.title}+{'+'.join(d.kind for d in applied)}"
+    faulty.injected_defects = applied
+    return faulty
+
+
+def strip_faults(circuit: Circuit) -> Circuit:
+    """Return a copy with all ``FAULT_*`` elements removed.
+
+    Opens cannot be fully undone (the node split persists), so this is
+    only exact for shorts/bridges/pipes; the fault-injection tests use it
+    to confirm those defect classes are purely additive.
+    """
+    clean = circuit.copy()
+    for component in list(clean):
+        if component.name.startswith("FAULT_"):
+            clean.remove(component.name)
+    if hasattr(clean, "injected_defects"):
+        clean.injected_defects = []
+    return clean
+
+
+def injected_names(circuit: Circuit) -> List[str]:
+    """Names of all fault elements present in ``circuit``."""
+    return [c.name for c in circuit if c.name.startswith("FAULT_")]

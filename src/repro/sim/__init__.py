@@ -1,0 +1,65 @@
+"""Analog simulation engine: DC operating point and transient analysis.
+
+This replaces the paper's Spectre runs (see DESIGN.md substitution table).
+Typical usage::
+
+    from repro.sim import operating_point, transient
+
+    op = operating_point(circuit)
+    result = transient(circuit, t_stop=30e-9, dt=25e-12)
+    swing = result.wave("op").swing()
+"""
+
+from .ac import AcResult, ac_analysis, logspace_frequencies
+from .dcsweep import DcSweepResult, dc_sweep, hysteresis_sweep
+from .dc import ConvergenceError, DcSolution, NewtonStats, kcl_residuals, operating_point
+from .mna import MnaStructure, SingularMatrixError
+from .options import DEFAULT_OPTIONS, SimOptions
+from .report import (
+    bjt_region,
+    load_waveforms_csv,
+    op_report,
+    save_waveforms_csv,
+    total_supply_power,
+)
+from .sweep import SweepPoint, SweepResult, run_cycles, sweep
+from .transient import TransientResult, transient
+from .waveform import (
+    Waveform,
+    delay_between,
+    differential_crossings,
+    hysteresis_thresholds,
+)
+
+__all__ = [
+    "ac_analysis",
+    "AcResult",
+    "logspace_frequencies",
+    "SimOptions",
+    "DEFAULT_OPTIONS",
+    "operating_point",
+    "dc_sweep",
+    "DcSweepResult",
+    "hysteresis_sweep",
+    "op_report",
+    "bjt_region",
+    "total_supply_power",
+    "save_waveforms_csv",
+    "load_waveforms_csv",
+    "DcSolution",
+    "NewtonStats",
+    "kcl_residuals",
+    "ConvergenceError",
+    "SingularMatrixError",
+    "MnaStructure",
+    "transient",
+    "TransientResult",
+    "Waveform",
+    "differential_crossings",
+    "delay_between",
+    "hysteresis_thresholds",
+    "sweep",
+    "SweepResult",
+    "SweepPoint",
+    "run_cycles",
+]

@@ -1,0 +1,142 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit around its DC operating point and solves
+``(G + jwC) x = b`` over a frequency list.  Uses the very same device
+stamps as the Newton loop (the Jacobian *is* the small-signal model), so
+anything that converges in DC can be AC-analysed without extra device
+code.
+
+Used by the extension benches to characterise the CML gate bandwidth
+(which sets the Fig. 5 excursion roll-off) and the detector load pole
+(which sets tstability scaling in Figs. 8/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.components import VoltageSource
+from ..circuit.netlist import Circuit
+from .dc import DcSolution, operating_point
+from .mna import MnaStamper, MnaStructure, SingularMatrixError, stamp_nonlinear
+from .options import DEFAULT_OPTIONS, SimOptions
+
+
+class AcResult:
+    """Complex node voltages over frequency."""
+
+    def __init__(self, structure: MnaStructure, frequencies: np.ndarray,
+                 states: np.ndarray):
+        self.structure = structure
+        self.frequencies = frequencies
+        self.states = states  # shape (n_freq, n_unknowns), complex
+
+    def voltage(self, net: str) -> np.ndarray:
+        """Complex transfer of ``net`` (per unit AC stimulus)."""
+        if net == "0":
+            return np.zeros(len(self.frequencies), dtype=complex)
+        try:
+            column = self.structure.net_index[net]
+        except KeyError:
+            raise KeyError(f"no net {net!r} in AC result") from None
+        return self.states[:, column]
+
+    def magnitude_db(self, net: str) -> np.ndarray:
+        """Gain magnitude in dB (floored at -300 dB)."""
+        magnitude = np.abs(self.voltage(net))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-15))
+
+    def phase_deg(self, net: str) -> np.ndarray:
+        """Phase in degrees."""
+        return np.angle(self.voltage(net), deg=True)
+
+    def bandwidth_3db(self, net: str) -> Optional[float]:
+        """-3 dB frequency relative to the lowest-frequency gain."""
+        gain = np.abs(self.voltage(net))
+        reference = gain[0]
+        if reference <= 0:
+            return None
+        threshold = reference / np.sqrt(2.0)
+        below = np.nonzero(gain < threshold)[0]
+        if below.size == 0:
+            return None
+        index = int(below[0])
+        if index == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation between the straddling points.
+        f1, f2 = self.frequencies[index - 1], self.frequencies[index]
+        g1, g2 = gain[index - 1], gain[index]
+        frac = (g1 - threshold) / (g1 - g2)
+        return float(f1 * (f2 / f1) ** frac)
+
+
+def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
+                ac_source: str,
+                options: SimOptions = DEFAULT_OPTIONS,
+                op: Optional[DcSolution] = None) -> AcResult:
+    """Run an AC sweep with a unit stimulus on voltage source ``ac_source``.
+
+    The named :class:`VoltageSource` injects 1 V (small-signal) while all
+    other independent sources are AC-grounded, which is the standard
+    transfer-function setup.  Returns complex node voltages per frequency.
+    """
+    source = circuit[ac_source]
+    if not isinstance(source, VoltageSource):
+        raise TypeError(f"{ac_source!r} is not a voltage source")
+    if op is None:
+        op = operating_point(circuit, options)
+    structure = op.structure
+    n = structure.n_unknowns
+
+    # Conductance part: linear elements + device Jacobians at the OP.
+    # Source values land in the RHS, which is discarded below.  Devices
+    # are synced to the bias point first so junction limiting cannot
+    # displace the linearisation.
+    voltages = structure.voltages_from(op.x)
+    for component in structure.nonlinear:
+        sync = getattr(component, "sync_state", None)
+        if sync is not None:
+            sync(voltages)
+    g_stamper = MnaStamper(structure, sparse=False)
+    for component in circuit:
+        component.stamp_linear(g_stamper, None)
+    if options.gmin > 0:
+        for p, q in structure.junction_list:
+            g_stamper.conductance(p, q, options.gmin)
+    stamp_nonlinear(structure, g_stamper, op.x)
+    g_matrix = g_stamper._dense.copy()
+
+    # Capacitance part: same stamp pattern with capacitances as values.
+    c_stamper = MnaStamper(structure, sparse=False)
+    for component in circuit:
+        for _key, net_p, net_n, capacitance in component.dynamic_elements():
+            c_stamper.conductance(net_p, net_n, capacitance)
+    c_matrix = c_stamper._dense.copy()
+
+    # Unit AC excitation on the chosen source's branch row.
+    rhs = np.zeros(n, dtype=complex)
+    rhs[structure.branch_index[ac_source]] = 1.0
+
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    states = np.empty((len(frequencies), n), dtype=complex)
+    for index, frequency in enumerate(frequencies):
+        matrix = g_matrix + 2j * np.pi * frequency * c_matrix
+        try:
+            states[index] = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as error:
+            raise SingularMatrixError(
+                f"AC solve failed at {frequency:g} Hz: {error}") from None
+    return AcResult(structure, frequencies, states)
+
+
+def logspace_frequencies(start: float, stop: float,
+                         points_per_decade: int = 10) -> List[float]:
+    """Logarithmically spaced frequency list, inclusive of both ends."""
+    if start <= 0 or stop <= start:
+        raise ValueError("need 0 < start < stop")
+    decades = np.log10(stop / start)
+    count = max(int(round(decades * points_per_decade)) + 1, 2)
+    return list(np.logspace(np.log10(start), np.log10(stop), count))

@@ -1,0 +1,125 @@
+"""DC sweep analysis with solution continuation.
+
+Sweeps one independent source over a value list, warm-starting each point
+from the previous solution.  Continuation makes two things work that
+isolated operating points cannot:
+
+* fast convergence along smooth transfer curves (gate VTCs);
+* **static hysteresis**: for a bistable circuit (the Fig. 11 comparator)
+  the solver follows the branch it is on, so an up-sweep and a down-sweep
+  trace different transitions — the DC counterpart of the Fig. 12
+  transient characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.components import CurrentSource, VoltageSource
+from ..circuit.netlist import Circuit
+from ..circuit.sources import Dc
+from .dc import ConvergenceError, operating_point
+from .options import DEFAULT_OPTIONS, SimOptions
+from .waveform import Waveform
+
+
+@dataclass
+class DcSweepResult:
+    """Node voltages (and full MNA states) along the swept values."""
+
+    source: str
+    values: np.ndarray
+    states: np.ndarray  # full MNA state per point (nodes then branches)
+    net_index: Dict[str, int]
+
+    def voltage(self, net: str) -> np.ndarray:
+        """Swept voltage of ``net`` (zeros for ground)."""
+        if net == "0":
+            return np.zeros(len(self.values))
+        try:
+            column = self.net_index[net]
+        except KeyError:
+            raise KeyError(f"no net {net!r} in sweep result") from None
+        return self.states[:, column]
+
+    def transfer(self, net: str) -> List[Tuple[float, float]]:
+        """``(swept value, v(net))`` pairs."""
+        return list(zip(self.values.tolist(), self.voltage(net).tolist()))
+
+    def final_state(self) -> np.ndarray:
+        """The MNA state at the last sweep point (for continuation)."""
+        return self.states[-1].copy()
+
+    def as_waveform(self, net: str) -> Waveform:
+        """The transfer curve as a Waveform (x axis = swept value).
+
+        Lets the waveform measurement toolkit (crossings, levels, swing)
+        run on static curves; a decreasing sweep is reversed first.
+        """
+        values = self.values
+        curve = self.voltage(net)
+        if np.all(np.diff(values) < 0):
+            values, curve = values[::-1], curve[::-1]
+        elif np.any(np.diff(values) <= 0):
+            raise ValueError("sweep values must be strictly monotonic")
+        return Waveform(values.copy(), curve.copy(), name=net)
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: Sequence[float],
+             options: SimOptions = DEFAULT_OPTIONS,
+             initial_state: Optional[np.ndarray] = None) -> DcSweepResult:
+    """Sweep source ``source_name`` over ``values`` with continuation.
+
+    The circuit is copied; the original (and its waveform) are untouched.
+    ``initial_state`` warm-starts the first point (e.g. the final state
+    of a previous sweep leg).  Raises
+    :class:`~repro.sim.dc.ConvergenceError` annotated with the failing
+    sweep value if any point cannot be solved.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    working = circuit.copy()
+    source = working[source_name]
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{source_name!r} is not an independent source")
+
+    states: List[np.ndarray] = []
+    net_index: Dict[str, int] = {}
+    x_guess = initial_state
+    for value in values:
+        source.waveform = Dc(value)
+        try:
+            solution = operating_point(working, options, initial=x_guess)
+        except ConvergenceError as error:
+            raise ConvergenceError(
+                f"dc sweep failed at {source_name} = {value:g}: {error}"
+            ) from None
+        states.append(solution.x.copy())
+        x_guess = solution.x
+        net_index = solution.structure.net_index
+    return DcSweepResult(source=source_name,
+                         values=np.asarray(values, dtype=float),
+                         states=np.vstack(states),
+                         net_index=net_index)
+
+
+def hysteresis_sweep(circuit: Circuit, source_name: str,
+                     start: float, stop: float, points: int = 101,
+                     options: SimOptions = DEFAULT_OPTIONS
+                     ) -> Tuple[DcSweepResult, DcSweepResult]:
+    """Forward-then-backward sweep pair for bistable circuits.
+
+    Sweeps ``start → stop``, then ``stop → start`` continuing from the
+    forward leg's final state.  A hysteretic circuit shows different
+    transition points in the two legs.
+    """
+    forward_values = np.linspace(start, stop, points)
+    forward = dc_sweep(circuit, source_name, forward_values, options)
+    backward = dc_sweep(circuit, source_name, forward_values[::-1],
+                        options, initial_state=forward.final_state())
+    return forward, backward

@@ -1,0 +1,261 @@
+"""Modified nodal analysis: unknown numbering, stamping, linear solve.
+
+The system solved each Newton iteration is ``A x = b`` where ``x`` holds
+one voltage per non-ground net followed by one current per branch element
+(voltage sources).  :class:`MnaStructure` owns the numbering;
+:class:`MnaStamper` is the write interface handed to components (see the
+sign conventions in :mod:`repro.circuit.components`).
+
+Assembly is split into a *base* part (linear elements + sources at the
+current time + companion conductances, which are constant across Newton
+iterations of one solve) and a per-iteration nonlinear part, so only the
+handful of device stamps is rebuilt inside the Newton loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csc_matrix
+from scipy.sparse.linalg import splu
+
+from ..circuit.netlist import GROUND, Circuit, Component
+
+
+class SingularMatrixError(RuntimeError):
+    """The MNA matrix is singular (floating net, V-source loop, ...)."""
+
+
+class MnaStructure:
+    """Fixed unknown numbering for a circuit.
+
+    Nets are numbered in first-appearance order (ground excluded), branch
+    elements after them.  Rebuild the structure after topology mutations
+    (fault injection creates a fresh one anyway).
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.net_index: Dict[str, int] = {}
+        for net in circuit.unknown_nets():
+            self.net_index[net] = len(self.net_index)
+        self.branch_index: Dict[str, int] = {}
+        for component in circuit:
+            if component.is_branch():
+                self.branch_index[component.name] = (
+                    len(self.net_index) + len(self.branch_index)
+                )
+        self.n_nets = len(self.net_index)
+        self.n_unknowns = self.n_nets + len(self.branch_index)
+        self.nonlinear = [c for c in circuit if c.is_nonlinear()]
+        self.junction_list: List[Tuple[str, str]] = []
+        for component in self.nonlinear:
+            for p, n, _vcrit in component.junctions():
+                self.junction_list.append((p, n))
+
+    def index(self, net: str) -> int:
+        """Matrix index of a net; -1 for ground."""
+        if net == GROUND:
+            return -1
+        try:
+            return self.net_index[net]
+        except KeyError:
+            raise KeyError(f"net {net!r} not in MNA structure") from None
+
+    def voltages_from(self, x: np.ndarray) -> Callable[[str], float]:
+        """A net → volts accessor over the solution vector ``x``."""
+        index = self.net_index
+
+        def voltages(net: str) -> float:
+            if net == GROUND:
+                return 0.0
+            return float(x[index[net]])
+
+        return voltages
+
+    def reset_device_states(self) -> None:
+        """Clear junction-limiting memory on all nonlinear devices."""
+        for component in self.nonlinear:
+            reset = getattr(component, "reset_state", None)
+            if reset is not None:
+                reset()
+
+
+class MnaStamper:
+    """Accumulates stamps into dense or sparse storage.
+
+    One stamper is created per solve; ``snapshot_base`` freezes the linear
+    part so the Newton loop can ``restore_base`` cheaply each iteration.
+    """
+
+    def __init__(self, structure: MnaStructure, sparse: bool):
+        self.structure = structure
+        self.sparse = sparse
+        n = structure.n_unknowns
+        self._n = n
+        self._rhs = np.zeros(n)
+        self._limited = False
+        self.source_scale = 1.0
+        if sparse:
+            self._rows: List[int] = []
+            self._cols: List[int] = []
+            self._vals: List[float] = []
+            self._base_matrix: Optional[csc_matrix] = None
+        else:
+            self._dense = np.zeros((n, n))
+            self._base_dense: Optional[np.ndarray] = None
+        self._base_rhs: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Raw entry access
+    # ------------------------------------------------------------------
+    def _add(self, i: int, j: int, value: float) -> None:
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        if self.sparse:
+            self._rows.append(i)
+            self._cols.append(j)
+            self._vals.append(value)
+        else:
+            self._dense[i, j] += value
+
+    def _add_rhs(self, i: int, value: float) -> None:
+        if i >= 0:
+            self._rhs[i] += value
+
+    # ------------------------------------------------------------------
+    # Component-facing API
+    # ------------------------------------------------------------------
+    def conductance(self, net_a: str, net_b: str, g: float) -> None:
+        """Stamp conductance ``g`` between two nets."""
+        a = self.structure.index(net_a)
+        b = self.structure.index(net_b)
+        self._add(a, a, g)
+        self._add(b, b, g)
+        self._add(a, b, -g)
+        self._add(b, a, -g)
+
+    def current_source(self, net_from: str, net_to: str, i: float) -> None:
+        """Independent current ``i`` flowing from ``net_from`` to ``net_to``
+        through the element."""
+        i *= self.source_scale
+        self._add_rhs(self.structure.index(net_from), -i)
+        self._add_rhs(self.structure.index(net_to), i)
+
+    def voltage_source(self, component: Component, net_p: str, net_n: str,
+                       value: float) -> None:
+        """Stamp a branch equation ``v(p) - v(n) = value``."""
+        k = self.structure.branch_index[component.name]
+        p = self.structure.index(net_p)
+        n = self.structure.index(net_n)
+        self._add(p, k, 1.0)
+        self._add(n, k, -1.0)
+        self._add(k, p, 1.0)
+        self._add(k, n, -1.0)
+        self._add_rhs(k, value * self.source_scale)
+
+    def nonlinear_current(self, net: str, i_op: float,
+                          partials: Sequence[Tuple[str, float]],
+                          bias: float) -> None:
+        """Linearised current ``i_op`` leaving ``net`` into a device.
+
+        ``partials`` are ``(net_k, dI/dV_k)`` and ``bias`` must equal
+        ``sum_k g_k * v_k`` evaluated at the device's linearisation point
+        (after junction limiting).  Stamps the Norton equivalent.
+        """
+        row = self.structure.index(net)
+        if row < 0:
+            return
+        for net_k, g in partials:
+            self._add(row, self.structure.index(net_k), g)
+        self._add_rhs(row, bias - i_op)
+
+    def mark_limited(self) -> None:
+        """Called by devices when junction limiting altered the iterate."""
+        self._limited = True
+
+    @property
+    def limited(self) -> bool:
+        return self._limited
+
+    def clear_limited(self) -> None:
+        self._limited = False
+
+    # ------------------------------------------------------------------
+    # Base snapshot / solve
+    # ------------------------------------------------------------------
+    def snapshot_base(self) -> None:
+        """Freeze the current stamps as the per-iteration starting point."""
+        self._base_rhs = self._rhs.copy()
+        if self.sparse:
+            matrix = coo_matrix(
+                (self._vals, (self._rows, self._cols)), shape=(self._n, self._n)
+            )
+            self._base_matrix = matrix.tocsc()
+        else:
+            self._base_dense = self._dense.copy()
+
+    def restore_base(self) -> None:
+        """Drop all stamps added since :meth:`snapshot_base`."""
+        if self._base_rhs is None:
+            raise RuntimeError("snapshot_base was never called")
+        self._rhs = self._base_rhs.copy()
+        if self.sparse:
+            self._rows, self._cols, self._vals = [], [], []
+        else:
+            self._dense = self._base_dense.copy()
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system; raises :class:`SingularMatrixError`."""
+        if self.sparse:
+            extra = coo_matrix(
+                (self._vals, (self._rows, self._cols)), shape=(self._n, self._n)
+            ).tocsc()
+            matrix = extra if self._base_matrix is None else self._base_matrix + extra
+            try:
+                lu = splu(matrix.tocsc())
+                x = lu.solve(self._rhs)
+            except RuntimeError as error:
+                raise SingularMatrixError(str(error)) from None
+        else:
+            try:
+                x = np.linalg.solve(self._dense, self._rhs)
+            except np.linalg.LinAlgError as error:
+                raise SingularMatrixError(str(error)) from None
+        if not np.all(np.isfinite(x)):
+            raise SingularMatrixError("solution contains non-finite values")
+        return x
+
+
+def build_base(structure: MnaStructure, options, t: Optional[float],
+               source_scale: float = 1.0,
+               companions: Optional[Callable[[MnaStamper], None]] = None) -> MnaStamper:
+    """Assemble the Newton-invariant part of the system.
+
+    ``t`` is the source evaluation time (``None`` for DC).  ``companions``
+    optionally stamps charge-storage companion models (transient only).
+    Junction gmin shunts are included here so the gmin-stepping homotopy
+    just rebuilds the base with a different ``options.gmin``.
+    """
+    sparse = structure.n_unknowns >= options.sparse_threshold
+    stamper = MnaStamper(structure, sparse)
+    stamper.source_scale = source_scale
+    for component in structure.circuit:
+        component.stamp_linear(stamper, t)
+    gmin = options.gmin
+    if gmin > 0:
+        for p, n in structure.junction_list:
+            stamper.conductance(p, n, gmin)
+    if companions is not None:
+        companions(stamper)
+    stamper.snapshot_base()
+    return stamper
+
+
+def stamp_nonlinear(structure: MnaStructure, stamper: MnaStamper,
+                    x: np.ndarray) -> None:
+    """Stamp all nonlinear devices linearised at iterate ``x``."""
+    voltages = structure.voltages_from(x)
+    for component in structure.nonlinear:
+        component.stamp_nonlinear(stamper, voltages)

@@ -1,0 +1,54 @@
+"""Simulation tolerances and engine knobs, SPICE-flavoured defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class SimOptions:
+    """Options shared by DC and transient analyses.
+
+    The defaults mirror Berkeley SPICE3 and are adequate for every circuit
+    in the reproduction; experiments tighten/loosen them only where noted
+    in EXPERIMENTS.md.
+    """
+
+    #: Relative tolerance on node voltages / branch currents.
+    reltol: float = 1e-3
+    #: Absolute voltage tolerance (SPICE ``vntol``), volts.
+    vntol: float = 1e-6
+    #: Absolute current tolerance (SPICE ``abstol``), amperes.
+    abstol: float = 1e-12
+    #: Shunt conductance across PN junctions, siemens.
+    gmin: float = 1e-12
+    #: Maximum Newton-Raphson iterations per solve.
+    max_nr_iterations: int = 150
+    #: Gmin-stepping ladder used when the plain operating point fails:
+    #: conductances start at ``gmin_start`` and shrink by ``gmin_factor``.
+    gmin_start: float = 1e-2
+    gmin_factor: float = 10.0
+    #: Number of source-stepping increments (last resort homotopy).
+    source_steps: int = 20
+    #: Above this many MNA unknowns, use the scipy sparse solver path.
+    sparse_threshold: int = 120
+    #: Transient integration method: ``"trap"`` or ``"be"``.
+    integration: str = "trap"
+    #: Maximum times a transient step is halved on NR failure.
+    max_step_halvings: int = 10
+    #: Optional clamp on per-iteration node-voltage updates (0 disables).
+    max_voltage_step: float = 0.0
+
+    def gmin_ladder(self) -> Tuple[float, ...]:
+        """Decreasing gmin values ending at :attr:`gmin`."""
+        values = []
+        g = self.gmin_start
+        while g > self.gmin * 1.001:
+            values.append(g)
+            g /= self.gmin_factor
+        values.append(self.gmin)
+        return tuple(values)
+
+
+DEFAULT_OPTIONS = SimOptions()

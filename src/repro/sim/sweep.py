@@ -1,0 +1,94 @@
+"""Parameter-sweep helpers for the frequency/pipe-value characterisations.
+
+The paper's evaluation figures are all sweeps: Fig. 5 sweeps stimulus
+frequency for several pipe resistances; Figs. 8 and 10 sweep frequency,
+pipe value and load capacitance; Fig. 14 sweeps the number of gates sharing
+one detector load.  :func:`sweep` is a small generic driver that rebuilds
+the circuit for each parameter point (circuits are cheap; engine state is
+per-circuit, so rebuilding guarantees independence) and applies a
+measurement function to each transient result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+import itertools
+
+from ..circuit.netlist import Circuit
+from .options import DEFAULT_OPTIONS, SimOptions
+from .transient import TransientResult, transient
+
+
+@dataclass
+class SweepPoint:
+    """One parameter combination with its measured values."""
+
+    params: Dict[str, Any]
+    measures: Dict[str, float]
+
+    def __getitem__(self, key: str):
+        if key in self.params:
+            return self.params[key]
+        return self.measures[key]
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, with convenient series extraction."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, x: str, y: str, **fixed) -> List[tuple]:
+        """``(x, y)`` pairs for the points matching the ``fixed`` params."""
+        pairs = []
+        for point in self.points:
+            if all(point.params.get(k) == v for k, v in fixed.items()):
+                pairs.append((point[x], point[y]))
+        return sorted(pairs)
+
+    def param_values(self, name: str) -> List[Any]:
+        """Distinct values taken by parameter ``name``, in sweep order."""
+        seen: Dict[Any, None] = {}
+        for point in self.points:
+            seen.setdefault(point.params.get(name), None)
+        return list(seen)
+
+
+def sweep(build: Callable[..., Circuit],
+          grid: Dict[str, Sequence[Any]],
+          run: Callable[[Circuit, Dict[str, Any]], TransientResult],
+          measure: Callable[[TransientResult, Dict[str, Any]], Dict[str, float]],
+          ) -> SweepResult:
+    """Run a full-factorial sweep.
+
+    ``build(**params)`` constructs the circuit, ``run(circuit, params)``
+    simulates it, ``measure(result, params)`` extracts scalar measures.
+    """
+    names = list(grid)
+    result = SweepResult()
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        circuit = build(**params)
+        sim_result = run(circuit, params)
+        measures = measure(sim_result, params)
+        result.points.append(SweepPoint(params=params, measures=measures))
+    return result
+
+
+def run_cycles(circuit: Circuit, frequency: float, cycles: float = 3.0,
+               points_per_cycle: int = 400,
+               options: SimOptions = DEFAULT_OPTIONS,
+               **transient_kwargs) -> TransientResult:
+    """Simulate an integer number of stimulus cycles at ``frequency``.
+
+    The common transient recipe of the experiments: step size is derived
+    from the period so time resolution scales with the stimulus.  Extra
+    keyword arguments (e.g. ``cap_overrides``) pass through to
+    :func:`repro.sim.transient.transient`.
+    """
+    period = 1.0 / frequency
+    return transient(circuit, t_stop=cycles * period,
+                     dt=period / points_per_cycle, options=options,
+                     **transient_kwargs)

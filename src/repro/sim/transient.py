@@ -1,0 +1,248 @@
+"""Transient analysis with trapezoidal / backward-Euler companion models.
+
+The engine walks a fixed time grid (plus waveform breakpoints), solving the
+nonlinear companion system by Newton-Raphson at each point.  When a step
+fails to converge it is recursively halved up to
+``options.max_step_halvings`` times; results are still reported on the
+requested grid.
+
+Charge storage is declared by components through ``dynamic_elements()``
+(see :class:`repro.circuit.netlist.Component`), so explicit capacitors and
+BJT junction capacitances share one code path.  The first step after t=0
+uses backward Euler to damp the trapezoidal rule's start-up ringing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.components import Capacitor
+from ..circuit.netlist import Circuit
+from .dc import ConvergenceError, DcSolution, NewtonStats, _newton_solve, operating_point
+from .mna import MnaStamper, MnaStructure, SingularMatrixError
+from .options import DEFAULT_OPTIONS, SimOptions
+from .waveform import Waveform
+
+
+@dataclass
+class _DynamicElement:
+    """One charge-storage element tracked by the integrator."""
+
+    key: str
+    net_p: str
+    net_n: str
+    capacitance: float
+    voltage: float = 0.0
+    current: float = 0.0
+
+
+class TransientResult:
+    """Node voltages / branch currents over time.
+
+    ``wave(net)`` returns a :class:`~repro.sim.waveform.Waveform` ready for
+    the measurement toolkit (crossings, swing, time-to-stability...).
+    """
+
+    def __init__(self, structure: MnaStructure, times: np.ndarray,
+                 states: np.ndarray):
+        self.structure = structure
+        self.times = times
+        self.states = states
+
+    def wave(self, net: str) -> Waveform:
+        """Voltage waveform of ``net``."""
+        if net == "0":
+            return Waveform(self.times, np.zeros_like(self.times), name=net)
+        try:
+            column = self.structure.net_index[net]
+        except KeyError:
+            raise KeyError(f"no net {net!r} in transient result") from None
+        return Waveform(self.times, self.states[:, column], name=net)
+
+    def branch_wave(self, component_name: str) -> Waveform:
+        """Branch-current waveform of a voltage source."""
+        try:
+            column = self.structure.branch_index[component_name]
+        except KeyError:
+            raise KeyError(
+                f"{component_name!r} is not a branch element") from None
+        return Waveform(self.times, self.states[:, column],
+                        name=f"i({component_name})")
+
+    def differential(self, net_p: str, net_n: str) -> Waveform:
+        """Waveform of ``v(net_p) - v(net_n)``."""
+        wave = self.wave(net_p) - self.wave(net_n)
+        wave.name = f"{net_p}-{net_n}"
+        return wave
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the last time point."""
+        last = self.states[-1]
+        return {net: float(last[i])
+                for net, i in self.structure.net_index.items()}
+
+
+def _collect_dynamic(circuit: Circuit) -> List[_DynamicElement]:
+    elements = []
+    for component in circuit:
+        for key, net_p, net_n, capacitance in component.dynamic_elements():
+            if capacitance <= 0:
+                continue
+            elements.append(_DynamicElement(
+                key=f"{component.name}:{key}", net_p=net_p, net_n=net_n,
+                capacitance=capacitance))
+    return elements
+
+
+def _time_grid(t_stop: float, dt: float,
+               circuit: Circuit) -> Tuple[np.ndarray, set]:
+    """Uniform grid plus source-waveform breakpoints.
+
+    Returns the grid and the set of breakpoint times: integration
+    restarts with backward Euler after each one (the trapezoidal rule
+    rings on the slope discontinuity otherwise).
+    """
+    n_steps = max(int(round(t_stop / dt)), 1)
+    grid = list(np.linspace(0.0, t_stop, n_steps + 1))
+    breakpoints: List[float] = []
+    for component in circuit:
+        waveform = getattr(component, "waveform", None)
+        if waveform is not None:
+            breakpoints.extend(waveform.breakpoints(t_stop))
+    break_times = set()
+    for point in breakpoints:
+        index = bisect.bisect_left(grid, point)
+        if index < len(grid) and abs(grid[index] - point) < dt * 1e-6:
+            break_times.add(grid[index])
+            continue
+        if index > 0 and abs(grid[index - 1] - point) < dt * 1e-6:
+            break_times.add(grid[index - 1])
+            continue
+        grid.insert(index, point)
+        break_times.add(point)
+    return np.asarray(grid), break_times
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              options: SimOptions = DEFAULT_OPTIONS,
+              initial: Optional[DcSolution] = None,
+              use_ic: bool = False,
+              cap_overrides: Optional[Dict[str, float]] = None) -> TransientResult:
+    """Integrate ``circuit`` from 0 to ``t_stop`` with base step ``dt``.
+
+    The initial state is the DC operating point (computed here unless an
+    ``initial`` solution is supplied).  With ``use_ic=True`` capacitors
+    carrying an ``ic`` attribute start from that voltage instead, and nets
+    start from 0 — useful for deliberately unbalanced start-up experiments.
+
+    ``cap_overrides`` maps capacitor component names to initial voltages,
+    overriding the operating-point value for just those elements.  The
+    detector experiments use it to start a monitoring node precharged to
+    its quiescent level when the DC equilibrium (which a slow leak would
+    only reach after microseconds) is not the physical test-start state.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+
+    structure = MnaStructure(circuit)
+    elements = _collect_dynamic(circuit)
+
+    if use_ic:
+        x = np.zeros(structure.n_unknowns)
+        voltages = structure.voltages_from(x)
+        ic_by_key: Dict[str, float] = {}
+        for component in circuit.components_of_type(Capacitor):
+            if component.ic is not None:
+                ic_by_key[f"{component.name}:c"] = float(component.ic)
+        for element in elements:
+            element.voltage = ic_by_key.get(
+                element.key,
+                voltages(element.net_p) - voltages(element.net_n))
+            element.current = 0.0
+    else:
+        solution = initial if initial is not None else operating_point(
+            circuit, options)
+        if solution.structure.circuit is not circuit:
+            raise ValueError("initial solution computed for another circuit")
+        x = solution.x.copy()
+        voltages = structure.voltages_from(x)
+        for element in elements:
+            element.voltage = voltages(element.net_p) - voltages(element.net_n)
+            element.current = 0.0
+
+    stats = NewtonStats()
+    if cap_overrides:
+        by_component = {e.key.split(":", 1)[0]: e for e in elements}
+        for name, voltage in cap_overrides.items():
+            if name not in by_component:
+                raise KeyError(f"no dynamic element on component {name!r}")
+            by_component[name].voltage = float(voltage)
+        # Make the stored t=0 state consistent with the overridden
+        # capacitor voltages: one vanishingly short backward-Euler step
+        # lets the overridden caps act as voltage sources while every
+        # other node settles around them.
+        x = _advance(structure, elements, options, x, 0.0, dt * 1e-6,
+                     trapezoidal=False, stats=stats,
+                     halvings_left=options.max_step_halvings)
+
+    times, break_times = _time_grid(t_stop, dt, circuit)
+    states = np.empty((len(times), structure.n_unknowns))
+    states[0] = x
+    use_trap = options.integration.lower() == "trap"
+    restart = True  # first step, and every step leaving a breakpoint
+    for step_index in range(1, len(times)):
+        t0, t1 = float(times[step_index - 1]), float(times[step_index])
+        x = _advance(structure, elements, options, x, t0, t1,
+                     use_trap and not restart, stats,
+                     options.max_step_halvings)
+        states[step_index] = x
+        restart = t1 in break_times
+    return TransientResult(structure, times, states)
+
+
+def _advance(structure: MnaStructure, elements: Sequence[_DynamicElement],
+             options: SimOptions, x: np.ndarray, t0: float, t1: float,
+             trapezoidal: bool, stats: NewtonStats, halvings_left: int) -> np.ndarray:
+    """Advance the state from ``t0`` to ``t1``, halving on NR failure."""
+    h = t1 - t0
+    saved = [(e.voltage, e.current) for e in elements]
+
+    def companions(stamper: MnaStamper) -> None:
+        for element in elements:
+            if trapezoidal:
+                geq = 2.0 * element.capacitance / h
+                ieq = -(geq * element.voltage + element.current)
+            else:
+                geq = element.capacitance / h
+                ieq = -geq * element.voltage
+            element._geq = geq  # consumed right after the solve
+            element._ieq = ieq
+            stamper.conductance(element.net_p, element.net_n, geq)
+            stamper.current_source(element.net_p, element.net_n, ieq)
+
+    try:
+        x_new = _newton_solve(structure, options, x, t=t1,
+                              companions=companions, stats=stats)
+    except (ConvergenceError, SingularMatrixError):
+        if halvings_left <= 0:
+            raise ConvergenceError(
+                f"transient step at t={t1:.6g}s failed to converge even "
+                f"after {options.max_step_halvings} halvings")
+        for element, (v, i) in zip(elements, saved):
+            element.voltage, element.current = v, i
+        t_mid = 0.5 * (t0 + t1)
+        x_mid = _advance(structure, elements, options, x, t0, t_mid,
+                         trapezoidal, stats, halvings_left - 1)
+        return _advance(structure, elements, options, x_mid, t_mid, t1,
+                        trapezoidal, stats, halvings_left - 1)
+
+    voltages = structure.voltages_from(x_new)
+    for element in elements:
+        v = voltages(element.net_p) - voltages(element.net_n)
+        element.current = element._geq * v + element._ieq
+        element.voltage = v
+    return x_new

@@ -1,0 +1,261 @@
+"""Waveforms and the measurement toolkit used by the experiments.
+
+Every paper readout maps to a method here:
+
+* Table 1/2 delays → :meth:`Waveform.crossings` + :func:`delay_between`;
+* Fig. 4/5 swings → :meth:`Waveform.levels` / :meth:`Waveform.swing`;
+* Fig. 7/8/10 detector response → :meth:`Waveform.time_to_stability` and
+  :meth:`Waveform.stable_maximum` (the paper's ``tstability`` / ``Vmax``);
+* Fig. 12 hysteresis → :func:`hysteresis_thresholds`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Waveform:
+    """A sampled scalar signal ``(times, values)`` with measurements.
+
+    Arithmetic between waveforms requires an identical time base (which is
+    guaranteed for waveforms pulled from the same transient result).
+    """
+
+    def __init__(self, times, values, name: str = ""):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have identical shape")
+        if self.times.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped at the ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    def window(self, t1: float, t2: float) -> "Waveform":
+        """Sub-waveform on ``[t1, t2]`` with interpolated end samples."""
+        if t2 <= t1:
+            raise ValueError("window end must follow window start")
+        mask = (self.times > t1) & (self.times < t2)
+        times = np.concatenate(([t1], self.times[mask], [t2]))
+        values = np.concatenate(([self.value_at(t1)], self.values[mask],
+                                 [self.value_at(t2)]))
+        return Waveform(times, values, name=self.name)
+
+    def minimum(self) -> float:
+        return float(self.values.min())
+
+    def maximum(self) -> float:
+        return float(self.values.max())
+
+    # ------------------------------------------------------------------
+    # Arithmetic (shared time base)
+    # ------------------------------------------------------------------
+    def _binary(self, other, op) -> "Waveform":
+        if isinstance(other, Waveform):
+            if not np.array_equal(self.times, other.times):
+                raise ValueError("waveform arithmetic needs a shared time base")
+            return Waveform(self.times, op(self.values, other.values))
+        return Waveform(self.times, op(self.values, float(other)),
+                        name=self.name)
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    def __neg__(self):
+        return Waveform(self.times, -self.values, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Crossings and delays
+    # ------------------------------------------------------------------
+    def crossings(self, level: float, direction: str = "both",
+                  after: float = 0.0) -> List[float]:
+        """Times where the signal crosses ``level`` (linear interpolation).
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``; crossings at
+        or before ``after`` are discarded.  Samples exactly on the level
+        are attributed to the following interval.
+        """
+        if direction not in ("rise", "fall", "both"):
+            raise ValueError(f"bad direction {direction!r}")
+        v = self.values - level
+        t = self.times
+        sign_change = v[:-1] * v[1:] < 0
+        exact = (v[:-1] == 0) & (v[1:] != 0)
+        result: List[float] = []
+        for index in np.nonzero(sign_change | exact)[0]:
+            rising = v[index + 1] > v[index]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            if v[index] == 0:
+                t_cross = float(t[index])
+            else:
+                frac = -v[index] / (v[index + 1] - v[index])
+                t_cross = float(t[index] + frac * (t[index + 1] - t[index]))
+            if t_cross > after:
+                result.append(t_cross)
+        return result
+
+    def first_crossing(self, level: float, direction: str = "both",
+                       after: float = 0.0) -> Optional[float]:
+        """First crossing of ``level`` after ``after``; None if absent."""
+        crossings = self.crossings(level, direction, after)
+        return crossings[0] if crossings else None
+
+    # ------------------------------------------------------------------
+    # Levels and swing
+    # ------------------------------------------------------------------
+    def levels(self) -> Tuple[float, float]:
+        """Robust ``(vlow, vhigh)`` of a two-level (square-ish) signal.
+
+        Splits the samples around the mid-range and takes the median of
+        each group, so edges and ringing don't bias the plateau estimate.
+        A constant signal returns ``(v, v)``.
+        """
+        vmin, vmax = self.values.min(), self.values.max()
+        if vmax - vmin < 1e-12:
+            return float(vmin), float(vmax)
+        # Split around the 1st/99th-percentile midpoint rather than the
+        # raw range so isolated glitch samples cannot hijack a plateau.
+        p_low, p_high = np.percentile(self.values, [1.0, 99.0])
+        mid = 0.5 * (p_low + p_high)
+        if p_high - p_low < 1e-12:
+            mid = 0.5 * (vmin + vmax)
+        low = self.values[self.values < mid]
+        high = self.values[self.values >= mid]
+        vlow = float(np.median(low)) if low.size else float(vmin)
+        vhigh = float(np.median(high)) if high.size else float(vmax)
+        return vlow, vhigh
+
+    def swing(self) -> float:
+        """``vhigh - vlow`` from :meth:`levels`."""
+        vlow, vhigh = self.levels()
+        return vhigh - vlow
+
+    def extreme_swing(self) -> float:
+        """Peak-to-peak amplitude (max - min), the paper's "excursion"."""
+        return float(self.values.max() - self.values.min())
+
+    # ------------------------------------------------------------------
+    # Detector-response measurements (Figs. 7, 8, 10)
+    # ------------------------------------------------------------------
+    def time_to_stability(self, margin: float = 0.1,
+                          min_drop: float = 0.05) -> Optional[float]:
+        """Paper ``tstability``: first time the decaying detector output
+        reaches (within ``margin`` of the total drop) its bottom envelope.
+
+        Returns None when the signal never drops by at least ``min_drop``
+        volts (fault-free detector) or is still falling at the end of the
+        record (not yet stable — extend the simulation window).
+        """
+        v_start = float(self.values[0])
+        v_min = float(self.values.min())
+        drop = v_start - v_min
+        if drop < min_drop:
+            return None
+        threshold = v_min + margin * drop
+        below = np.nonzero(self.values <= threshold)[0]
+        if below.size == 0:
+            return None
+        index = int(below[0])
+        # A first touch late in the record means the envelope is still
+        # deepening (a monotone decay always touches its minimum band at
+        # ~90 % of the window): not stabilised within this window.
+        if self.times[index] > self.t_start + 0.85 * (self.t_stop - self.t_start):
+            return None
+        if index == 0:
+            return float(self.times[0])
+        # Interpolate the crossing of the threshold inside the last interval.
+        t0, t1 = self.times[index - 1], self.times[index]
+        v0, v1 = self.values[index - 1], self.values[index]
+        if v0 == v1:
+            return float(t1)
+        frac = (threshold - v0) / (v1 - v0)
+        return float(t0 + frac * (t1 - t0))
+
+    def stable_maximum(self, margin: float = 0.1) -> Optional[float]:
+        """Paper ``Vmax``: the maximum of the rippling signal after
+        :meth:`time_to_stability`.  None when the signal never stabilises.
+        """
+        t_stab = self.time_to_stability(margin)
+        if t_stab is None or t_stab >= self.t_stop:
+            return None
+        return self.window(t_stab, self.t_stop).maximum()
+
+    def ripple(self, t_from: Optional[float] = None) -> float:
+        """Peak-to-peak amplitude after ``t_from`` (default: last 25 %)."""
+        if t_from is None:
+            t_from = self.t_start + 0.75 * (self.t_stop - self.t_start)
+        tail = self.window(t_from, self.t_stop)
+        return tail.maximum() - tail.minimum()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Waveform {self.name!r}: {self.times.size} samples, "
+                f"[{self.t_start:.3g}, {self.t_stop:.3g}] s>")
+
+
+def differential_crossings(wave_p: Waveform, wave_n: Waveform,
+                           direction: str = "both",
+                           after: float = 0.0) -> List[float]:
+    """Times where a differential pair crosses (v_p = v_n).
+
+    This is the paper's Table 2 measurement: "using the actual crossing
+    voltage, whatever its value, as the time measurement point".
+    """
+    return (wave_p - wave_n).crossings(0.0, direction, after)
+
+
+def delay_between(reference_times: Sequence[float],
+                  measured_times: Sequence[float]) -> List[float]:
+    """Pair up edge times and return per-edge delays.
+
+    Each measured edge is matched to the latest reference edge that does
+    not follow it; unmatched measured edges are skipped.  Used to turn two
+    crossing lists into the per-stage propagation delays of Tables 1-2.
+    """
+    delays = []
+    for t_measured in measured_times:
+        candidates = [t for t in reference_times if t <= t_measured]
+        if candidates:
+            delays.append(t_measured - candidates[-1])
+    return delays
+
+
+def hysteresis_thresholds(input_wave: Waveform, output_wave: Waveform,
+                          output_level: float) -> Tuple[Optional[float], Optional[float]]:
+    """Input values at which the output crosses ``output_level``.
+
+    Expects the input to ramp down and back up (or vice versa) once, as in
+    the Fig. 12 characterisation.  Returns ``(input_at_fall, input_at_rise)``
+    of the output — i.e. the two switching thresholds; either may be None
+    if the output never switches in that direction.
+    """
+    fall = output_wave.first_crossing(output_level, "fall")
+    rise = output_wave.first_crossing(output_level, "rise",
+                                      after=fall or 0.0)
+    input_at_fall = input_wave.value_at(fall) if fall is not None else None
+    input_at_rise = input_wave.value_at(rise) if rise is not None else None
+    return input_at_fall, input_at_rise

@@ -1,0 +1,87 @@
+"""Test generation for detector-instrumented CML logic (section 6.6)."""
+
+from .circuits import (
+    BENCHMARKS,
+    alu_slice,
+    gray_counter,
+    full_adder,
+    johnson_counter,
+    mux_select_tree,
+    parity_tree,
+    ripple_adder,
+    sequential_decider,
+    shift_register,
+)
+from .faultsim import (
+    FaultSimResult,
+    StuckFault,
+    enumerate_stuck_faults,
+    fault_simulate,
+    observability_gain,
+)
+from .initialization import (
+    ConvergenceResult,
+    convergence_length,
+    converges_from_x,
+    initialization_sequence,
+)
+from .logic import Gate, LogicNetwork, Value
+from .patterns import (
+    LFSR_TAPS,
+    Lfsr,
+    exhaustive_vectors,
+    random_states,
+    random_vectors,
+)
+from .sensitize import (
+    TogglePair,
+    compact_plan,
+    find_toggle_pair,
+    sensitization_plan,
+)
+from .signature import BistResult, Misr, bist_session, stuck_output_detected
+from .synthesis import SynthesizedDesign, synthesize
+from .toggle import ToggleCoverage, coverage_growth, measure_toggle_coverage
+
+__all__ = [
+    "LogicNetwork",
+    "Gate",
+    "Value",
+    "Lfsr",
+    "LFSR_TAPS",
+    "random_vectors",
+    "exhaustive_vectors",
+    "random_states",
+    "ToggleCoverage",
+    "measure_toggle_coverage",
+    "coverage_growth",
+    "ConvergenceResult",
+    "converges_from_x",
+    "convergence_length",
+    "initialization_sequence",
+    "TogglePair",
+    "find_toggle_pair",
+    "sensitization_plan",
+    "compact_plan",
+    "SynthesizedDesign",
+    "Misr",
+    "StuckFault",
+    "enumerate_stuck_faults",
+    "fault_simulate",
+    "FaultSimResult",
+    "observability_gain",
+    "BistResult",
+    "bist_session",
+    "stuck_output_detected",
+    "synthesize",
+    "full_adder",
+    "ripple_adder",
+    "parity_tree",
+    "mux_select_tree",
+    "shift_register",
+    "johnson_counter",
+    "sequential_decider",
+    "alu_slice",
+    "gray_counter",
+    "BENCHMARKS",
+]

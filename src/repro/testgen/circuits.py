@@ -1,0 +1,211 @@
+"""Benchmark logic networks used by the examples, tests and benches.
+
+Small, representative CML designs at the gate level: the combinational
+blocks exercise path sensitization, the sequential ones exercise random
+patterns, toggle coverage and initialization convergence (section 6.6).
+"""
+
+from __future__ import annotations
+
+from .logic import LogicNetwork
+
+
+def full_adder() -> LogicNetwork:
+    """One-bit full adder: sum = a^b^cin, cout = ab + cin(a^b)."""
+    net = LogicNetwork("full_adder")
+    for name in ("a", "b", "cin"):
+        net.add_input(name)
+    net.add_gate("X1", "xor2", ["a", "b"], "axb")
+    net.add_gate("X2", "xor2", ["axb", "cin"], "sum")
+    net.add_gate("A1", "and2", ["a", "b"], "ab")
+    net.add_gate("A2", "and2", ["axb", "cin"], "cx")
+    net.add_gate("O1", "or2", ["ab", "cx"], "cout")
+    net.add_output("sum")
+    net.add_output("cout")
+    return net
+
+
+def ripple_adder(width: int = 4) -> LogicNetwork:
+    """``width``-bit ripple-carry adder from chained full adders."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    net = LogicNetwork(f"ripple_adder{width}")
+    carry = net.add_input("cin")
+    for bit in range(width):
+        a = net.add_input(f"a{bit}")
+        b = net.add_input(f"b{bit}")
+        net.add_gate(f"X1_{bit}", "xor2", [a, b], f"axb{bit}")
+        net.add_gate(f"X2_{bit}", "xor2", [f"axb{bit}", carry], f"sum{bit}")
+        net.add_gate(f"A1_{bit}", "and2", [a, b], f"ab{bit}")
+        net.add_gate(f"A2_{bit}", "and2", [f"axb{bit}", carry], f"cx{bit}")
+        net.add_gate(f"O1_{bit}", "or2", [f"ab{bit}", f"cx{bit}"],
+                     f"carry{bit}")
+        net.add_output(f"sum{bit}")
+        carry = f"carry{bit}"
+    net.add_output(carry)
+    return net
+
+
+def parity_tree(width: int = 8) -> LogicNetwork:
+    """XOR reduction tree over ``width`` inputs."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    net = LogicNetwork(f"parity{width}")
+    level = [net.add_input(f"d{i}") for i in range(width)]
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for pair_index in range(0, len(level) - 1, 2):
+            out = f"p{stage}_{pair_index // 2}"
+            net.add_gate(f"X{stage}_{pair_index // 2}", "xor2",
+                         [level[pair_index], level[pair_index + 1]], out)
+            next_level.append(out)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        stage += 1
+    net.add_output(level[0])
+    return net
+
+
+def mux_select_tree() -> LogicNetwork:
+    """4:1 multiplexer from three 2:1 muxes (tests 3-input cells)."""
+    net = LogicNetwork("mux4")
+    for name in ("d0", "d1", "d2", "d3", "s0", "s1"):
+        net.add_input(name)
+    net.add_gate("M0", "mux2", ["d0", "d1", "s0"], "m0")
+    net.add_gate("M1", "mux2", ["d2", "d3", "s0"], "m1")
+    net.add_gate("M2", "mux2", ["m0", "m1", "s1"], "out")
+    net.add_output("out")
+    return net
+
+
+def shift_register(length: int = 4) -> LogicNetwork:
+    """Serial-in shift register of ``length`` flip-flops."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    net = LogicNetwork(f"shift{length}")
+    previous = net.add_input("sin")
+    for stage in range(length):
+        out = f"q{stage}"
+        net.add_gate(f"F{stage}", "dff", [previous], out)
+        previous = out
+    net.add_output(previous)
+    return net
+
+
+def johnson_counter(length: int = 4) -> LogicNetwork:
+    """Johnson (twisted-ring) counter: feedback through an inverter.
+
+    A classic self-initializing structure under random stimulus: with the
+    enable input toggling randomly, replicas converge (ref [13] style).
+    """
+    if length < 2:
+        raise ValueError("length must be at least 2")
+    net = LogicNetwork(f"johnson{length}")
+    enable = net.add_input("en")
+    net.add_gate("INV", "inverter", [f"q{length - 1}"], "fb")
+    # Enable gating: the ring advances a 0/1 mix regardless, but the
+    # enable mux lets random stimulus reach the state (and break symmetry).
+    net.add_gate("M0", "mux2", [f"q{length - 1}", "fb", enable], "d0")
+    previous = "d0"
+    for stage in range(length):
+        out = f"q{stage}"
+        net.add_gate(f"F{stage}", "dff", [previous], out)
+        previous = out
+        net.add_output(out)
+    return net
+
+
+def sequential_decider() -> LogicNetwork:
+    """Small controller: 2 flip-flops plus a combinational next-state
+    cone — converges to a deterministic trajectory under random input."""
+    net = LogicNetwork("decider")
+    net.add_input("go")
+    net.add_gate("A1", "and2", ["s0", "go"], "n1")
+    net.add_gate("O1", "or2", ["n1", "go"], "d1")
+    net.add_gate("X1", "xor2", ["s1", "go"], "t0")
+    net.add_gate("A2", "and2", ["t0", "go"], "d0")
+    net.add_gate("F0", "dff", ["d0"], "s0")
+    net.add_gate("F1", "dff", ["d1"], "s1")
+    net.add_output("s0")
+    net.add_output("s1")
+    return net
+
+
+def alu_slice() -> LogicNetwork:
+    """One ALU bit slice: op-selectable AND / OR / XOR / ADD.
+
+    Inputs ``a``, ``b``, ``cin`` and a 2-bit operation select
+    (``s0``, ``s1``); outputs ``y`` and ``cout``:
+
+    ========  =========
+    s1 s0     y
+    ========  =========
+    0  0      a AND b
+    0  1      a OR b
+    1  0      a XOR b
+    1  1      a + b + cin (sum; cout valid)
+    ========  =========
+    """
+    net = LogicNetwork("alu_slice")
+    for name in ("a", "b", "cin", "s0", "s1"):
+        net.add_input(name)
+    net.add_gate("AND", "and2", ["a", "b"], "f_and")
+    net.add_gate("OR", "or2", ["a", "b"], "f_or")
+    net.add_gate("XOR", "xor2", ["a", "b"], "f_xor")
+    net.add_gate("SUM", "xor2", ["f_xor", "cin"], "f_sum")
+    net.add_gate("CAND", "and2", ["f_xor", "cin"], "c_prop")
+    net.add_gate("COUT", "or2", ["f_and", "c_prop"], "cout")
+    # Output select tree.
+    net.add_gate("M0", "mux2", ["f_and", "f_or", "s0"], "m_low")
+    net.add_gate("M1", "mux2", ["f_xor", "f_sum", "s0"], "m_high")
+    net.add_gate("M2", "mux2", ["m_low", "m_high", "s1"], "y")
+    net.add_output("y")
+    net.add_output("cout")
+    return net
+
+
+def gray_counter(width: int = 3) -> LogicNetwork:
+    """Gray-code counter: binary core + XOR recode on the outputs.
+
+    The binary core increments when ``en`` is high (ripple of AND gates
+    on the toggle path); Gray outputs ``g0..g{width-1}`` change one bit
+    per step — the classic low-noise counter for CML environments.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    net = LogicNetwork(f"gray{width}")
+    enable = net.add_input("en")
+    # Binary core: bit i toggles when en and all lower bits are 1.
+    carry = enable
+    for bit in range(width):
+        net.add_gate(f"T{bit}", "xor2", [f"b{bit}", carry], f"d{bit}")
+        net.add_gate(f"F{bit}", "dff", [f"d{bit}"], f"b{bit}")
+        if bit < width - 1:
+            new_carry = f"c{bit}"
+            net.add_gate(f"C{bit}", "and2", [carry, f"b{bit}"], new_carry)
+            carry = new_carry
+    # Gray recode: g_i = b_i XOR b_{i+1} (top bit passes through).
+    for bit in range(width - 1):
+        net.add_gate(f"G{bit}", "xor2", [f"b{bit}", f"b{bit + 1}"],
+                     f"g{bit}")
+        net.add_output(f"g{bit}")
+    net.add_gate(f"G{width - 1}", "buffer", [f"b{width - 1}"],
+                 f"g{width - 1}")
+    net.add_output(f"g{width - 1}")
+    return net
+
+
+#: Registry for the benches/examples.
+BENCHMARKS = {
+    "full_adder": full_adder,
+    "ripple_adder4": lambda: ripple_adder(4),
+    "parity8": lambda: parity_tree(8),
+    "mux4": mux_select_tree,
+    "alu_slice": alu_slice,
+    "shift4": lambda: shift_register(4),
+    "johnson4": lambda: johnson_counter(4),
+    "gray3": lambda: gray_counter(3),
+    "decider": sequential_decider,
+}

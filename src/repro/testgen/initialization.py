@@ -1,0 +1,89 @@
+"""Pseudorandom initialization convergence (section 6.6, ref [13]).
+
+"Measuring the toggle coverage by simulation does pose the problem of
+finding an initialisation sequence.  However ... [circuits] tend to
+converge to a deterministic state, irrespective of the initial state, and
+that convergence is easily demonstrated with a single fault free
+simulation of relatively short length."
+
+Soufi et al. [13] show that, under a fixed pseudorandom input sequence,
+replicas of a sequential circuit started from different states usually
+collapse onto one trajectory.  :func:`convergence_length` measures how
+many vectors that takes; :func:`converges_from_x` runs the single-copy
+X-state demonstration the paper recommends (all flip-flops start unknown;
+convergence = every state bit becomes known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .logic import LogicNetwork, Value
+from .patterns import random_states, random_vectors
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of an initialization-convergence experiment."""
+
+    converged: bool
+    cycles: Optional[int]
+    replicas: int
+
+    def __bool__(self) -> bool:
+        return self.converged
+
+
+def converges_from_x(network: LogicNetwork,
+                     vectors: Sequence[Dict[str, Value]]
+                     ) -> ConvergenceResult:
+    """Single-simulation check: start all flip-flops at X and apply the
+    sequence; converged when no state bit is X anymore."""
+    network.reset(None)
+    for cycle, vector in enumerate(vectors, start=1):
+        network.step(vector)
+        if all(v is not None for v in network.state().values()):
+            return ConvergenceResult(True, cycle, replicas=1)
+    return ConvergenceResult(False, None, replicas=1)
+
+
+def convergence_length(network: LogicNetwork,
+                       vectors: Sequence[Dict[str, Value]],
+                       replicas: int = 4, seed: int = 7
+                       ) -> ConvergenceResult:
+    """Multi-replica check: run ``replicas`` copies of the state machine
+    from distinct random initial states under the same input sequence;
+    converged when all replica states agree.
+
+    The same network object is reused (state save/restore), so the
+    function leaves the network in the converged state when successful.
+    """
+    gate_names = [g.name for g in network.sequential_gates()]
+    if not gate_names:
+        return ConvergenceResult(True, 0, replicas)
+    states: List[Dict[str, Value]] = [
+        random_states(gate_names, seed + i) for i in range(replicas)]
+    for cycle, vector in enumerate(vectors, start=1):
+        next_states = []
+        for state in states:
+            network.set_state(state)
+            network.step(vector)
+            next_states.append(network.state())
+        states = next_states
+        if all(s == states[0] for s in states[1:]):
+            network.set_state(states[0])
+            return ConvergenceResult(True, cycle, replicas)
+    return ConvergenceResult(False, None, replicas)
+
+
+def initialization_sequence(network: LogicNetwork, max_vectors: int = 512,
+                            seed: int = 3) -> Optional[int]:
+    """Length of a pseudorandom initialization sequence for ``network``.
+
+    Returns the number of vectors after which replica convergence is
+    reached, or None if ``max_vectors`` random vectors do not suffice.
+    """
+    vectors = random_vectors(network.primary_inputs, max_vectors, seed=seed)
+    result = convergence_length(network, vectors)
+    return result.cycles if result.converged else None

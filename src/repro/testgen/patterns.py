@@ -1,0 +1,100 @@
+"""Pattern generation: LFSRs and random vectors (section 6.6).
+
+"An effective method to obtain a good toggle coverage in a sequential
+circuit is to stimulate it with random patterns."  The generators here are
+deterministic (seeded LFSRs) so experiments and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+#: Maximal-length LFSR feedback taps (Fibonacci form, 1-indexed).
+LFSR_TAPS: Dict[int, Sequence[int]] = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+class Lfsr:
+    """A Fibonacci LFSR producing a maximal-length bit sequence."""
+
+    def __init__(self, order: int = 7, seed: int = 1):
+        if order not in LFSR_TAPS:
+            raise ValueError(
+                f"unsupported order {order}; choose from {sorted(LFSR_TAPS)}")
+        if not 0 < seed < (1 << order):
+            raise ValueError("seed must be a nonzero state")
+        self.order = order
+        self.taps = LFSR_TAPS[order]
+        self.state = seed
+
+    @property
+    def period(self) -> int:
+        return (1 << self.order) - 1
+
+    def next_bit(self) -> int:
+        """Advance one step, returning the output bit.
+
+        Right-shift Fibonacci form: the feedback for polynomial tap ``t``
+        reads bit ``order - t`` (bit 0 is the output).
+        """
+        bit = self.state & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.order - tap)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.order - 1))
+        return bit
+
+    def bits(self, count: int) -> List[int]:
+        return [self.next_bit() for _ in range(count)]
+
+    def words(self, count: int, width: int) -> List[int]:
+        """``count`` words of ``width`` bits each (LSB first in time)."""
+        result = []
+        for _ in range(count):
+            word = 0
+            for position in range(width):
+                word |= self.next_bit() << position
+            result.append(word)
+        return result
+
+
+def random_vectors(input_names: Sequence[str], count: int,
+                   seed: int = 1, order: int = 16
+                   ) -> List[Dict[str, bool]]:
+    """``count`` pseudorandom input vectors keyed by signal name.
+
+    One LFSR feeds every input, matching the typical BIST arrangement of a
+    single pattern generator fanned out over the inputs.
+    """
+    lfsr = Lfsr(order=order, seed=seed)
+    vectors = []
+    for word in lfsr.words(count, len(input_names)):
+        vectors.append({name: bool((word >> i) & 1)
+                        for i, name in enumerate(input_names)})
+    return vectors
+
+
+def exhaustive_vectors(input_names: Sequence[str]
+                       ) -> Iterator[Dict[str, bool]]:
+    """All 2^n input vectors (combinational sensitization)."""
+    n = len(input_names)
+    for word in range(1 << n):
+        yield {name: bool((word >> i) & 1)
+               for i, name in enumerate(input_names)}
+
+
+def random_states(gate_names: Sequence[str], seed: int
+                  ) -> Dict[str, bool]:
+    """A random flip-flop state assignment (initialization studies)."""
+    rng = random.Random(seed)
+    return {name: bool(rng.getrandbits(1)) for name in gate_names}

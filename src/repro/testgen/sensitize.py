@@ -1,0 +1,101 @@
+"""Combinational path sensitization (section 6.6).
+
+"While pipe defects in current source transistors ... are fully detectable
+with DC test, in some more complex gates, some defects modify the
+amplitude of only one output ... To detect it, the fault must be asserted
+by sensitizing a path through the faulty gate and make its output toggle."
+
+For combinational networks this module finds a *toggle pair*: two input
+vectors under which a target gate's output takes both values.  Small
+networks are solved exhaustively; larger ones by seeded random search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .logic import LogicNetwork, Value
+from .patterns import exhaustive_vectors, random_vectors
+
+#: Exhaustive search is used up to this many primary inputs.
+EXHAUSTIVE_LIMIT = 14
+
+
+@dataclass
+class TogglePair:
+    """Two vectors asserting both values on a target output."""
+
+    target: str
+    vector_low: Dict[str, bool]
+    vector_high: Dict[str, bool]
+
+    def as_sequence(self) -> List[Dict[str, bool]]:
+        """The two vectors in apply order (low then high)."""
+        return [self.vector_low, self.vector_high]
+
+
+def find_toggle_pair(network: LogicNetwork, gate_name: str,
+                     max_random: int = 4096, seed: int = 11
+                     ) -> Optional[TogglePair]:
+    """Find input vectors driving ``gate_name``'s output to 0 and to 1.
+
+    Returns None when the output is untestable this way (structurally
+    constant — e.g. an AND fed by complementary signals).
+    """
+    gate = network.gates[gate_name]
+    if gate.is_sequential:
+        raise ValueError(
+            f"{gate_name} is sequential; use random patterns "
+            "(initialization + toggle coverage) instead")
+    target = gate.output
+
+    vector_low: Optional[Dict[str, bool]] = None
+    vector_high: Optional[Dict[str, bool]] = None
+
+    inputs = network.primary_inputs
+    if len(inputs) <= EXHAUSTIVE_LIMIT:
+        candidates = exhaustive_vectors(inputs)
+    else:
+        candidates = iter(random_vectors(inputs, max_random, seed=seed))
+
+    for vector in candidates:
+        value = network.evaluate(vector).get(target)
+        if value is False and vector_low is None:
+            vector_low = dict(vector)
+        elif value is True and vector_high is None:
+            vector_high = dict(vector)
+        if vector_low is not None and vector_high is not None:
+            return TogglePair(target, vector_low, vector_high)
+    return None
+
+
+def sensitization_plan(network: LogicNetwork,
+                       max_random: int = 4096
+                       ) -> Tuple[List[TogglePair], List[str]]:
+    """Toggle pairs for every combinational gate, plus the untestable list.
+
+    This is the paper's combinational testing approach: walk the gates,
+    sensitize each one and toggle it while its detector watches.
+    """
+    pairs: List[TogglePair] = []
+    untestable: List[str] = []
+    for name, gate in network.gates.items():
+        if gate.is_sequential:
+            continue
+        pair = find_toggle_pair(network, name, max_random=max_random)
+        if pair is None:
+            untestable.append(name)
+        else:
+            pairs.append(pair)
+    return pairs, untestable
+
+
+def compact_plan(pairs: Sequence[TogglePair]) -> List[Dict[str, bool]]:
+    """Merge the per-gate pairs into one de-duplicated vector sequence."""
+    sequence: List[Dict[str, bool]] = []
+    for pair in pairs:
+        for vector in (pair.vector_low, pair.vector_high):
+            if vector not in sequence:
+                sequence.append(vector)
+    return sequence

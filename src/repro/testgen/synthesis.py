@@ -1,0 +1,161 @@
+"""Gate-level to transistor-level synthesis of CML logic networks.
+
+This closes the loop between the two halves of the reproduction: the same
+:class:`~repro.testgen.logic.LogicNetwork` that drives toggle-coverage
+analysis can be lowered onto the transistor-level CML cell library,
+instrumented with built-in detectors, fault-injected and simulated with
+the analog engine — the complete flow a user of the paper's method would
+run on a real design.
+
+Lowering rules:
+
+* every logic signal ``s`` becomes a differential net pair ``(s, s_b)``;
+* two-level gates receive their second input through a pair of shared
+  emitter-follower level shifters (section 2's "outputs must be level
+  shifted by one VBE before driving them");
+* flip-flops share a global differential clock, level-shifted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..circuit.subcircuit import CellInstance, instantiate
+from ..cml.cells import (
+    and2_cell,
+    buffer_cell,
+    dff_cell,
+    inverter_cell,
+    level_shifter_cell,
+    mux2_cell,
+    or2_cell,
+    xor2_cell,
+)
+from ..cml.technology import VCS_NET, VGND_NET, CmlTechnology, NOMINAL
+from .logic import LogicNetwork
+
+
+@dataclass
+class SynthesizedDesign:
+    """Result of lowering a logic network onto CML cells."""
+
+    circuit: Circuit
+    network: LogicNetwork
+    tech: CmlTechnology
+    #: signal name -> (positive net, negative net)
+    signal_nets: Dict[str, Tuple[str, str]]
+    instances: Dict[str, CellInstance] = field(default_factory=dict)
+    clock_nets: Optional[Tuple[str, str]] = None
+
+    def pair(self, signal: str) -> Tuple[str, str]:
+        try:
+            return self.signal_nets[signal]
+        except KeyError:
+            raise KeyError(f"no signal {signal!r} in design") from None
+
+    def gate_output_pairs(self) -> List[Tuple[str, str]]:
+        """Output pairs of every logic gate — the detector attach points."""
+        return [self.pair(g.output) for g in self.network.gates.values()]
+
+    def transistor_names(self, gate_name: str) -> List[str]:
+        """Bipolar transistors of one lowered gate (fault sites)."""
+        from ..circuit.devices import Bjt, MultiEmitterBjt
+        instance = self.instances[gate_name]
+        return [c.name for c in instance.components
+                if isinstance(c, (Bjt, MultiEmitterBjt))]
+
+
+class _Shifters:
+    """Cache of level-shifted signal copies (one pair per signal)."""
+
+    def __init__(self, circuit: Circuit, tech: CmlTechnology):
+        self.circuit = circuit
+        self.tech = tech
+        self.cell = level_shifter_cell(tech)
+        self.cache: Dict[str, Tuple[str, str]] = {}
+
+    def shifted(self, signal: str, nets: Tuple[str, str]) -> Tuple[str, str]:
+        if signal in self.cache:
+            return self.cache[signal]
+        low_p, low_n = f"{signal}_l", f"{signal}_lb"
+        instantiate(self.circuit, self.cell, f"LS_{signal}_p",
+                    {"inp": nets[0], "out": low_p, VGND_NET: VGND_NET})
+        instantiate(self.circuit, self.cell, f"LS_{signal}_n",
+                    {"inp": nets[1], "out": low_n, VGND_NET: VGND_NET})
+        self.cache[signal] = (low_p, low_n)
+        return self.cache[signal]
+
+
+def synthesize(network: LogicNetwork, tech: CmlTechnology = NOMINAL,
+               clock: str = "clk") -> SynthesizedDesign:
+    """Lower ``network`` to a transistor-level circuit.
+
+    Primary inputs (and, when flip-flops are present, the differential
+    clock ``(clk, clk_b)``) are left as undriven net pairs for the caller
+    to attach sources to.  Supply rails are added here.
+    """
+    network.validate()
+    circuit = Circuit(title=f"cml-{network.name or 'logic'}")
+    tech.add_supplies(circuit)
+    rails = {VGND_NET: VGND_NET, VCS_NET: VCS_NET}
+
+    signal_nets: Dict[str, Tuple[str, str]] = {}
+    for signal in network.signals():
+        signal_nets[signal] = (signal, f"{signal}_b")
+
+    design = SynthesizedDesign(circuit=circuit, network=network, tech=tech,
+                               signal_nets=signal_nets)
+    shifters = _Shifters(circuit, tech)
+
+    clock_low: Optional[Tuple[str, str]] = None
+    if network.sequential_gates():
+        design.clock_nets = (clock, f"{clock}_b")
+        clock_low = shifters.shifted(clock, design.clock_nets)
+
+    cells = {
+        "buffer": buffer_cell(tech),
+        "inverter": inverter_cell(tech),
+        "and2": and2_cell(tech),
+        "or2": or2_cell(tech),
+        "xor2": xor2_cell(tech),
+        "mux2": mux2_cell(tech),
+        "dff": dff_cell(tech),
+    }
+
+    for gate in network.gates.values():
+        cell = cells[gate.cell_type]
+        out_p, out_n = signal_nets[gate.output]
+        ports = dict(rails)
+
+        if gate.cell_type in ("buffer", "inverter"):
+            a = signal_nets[gate.inputs[0]]
+            ports.update({"a": a[0], "ab": a[1], "op": out_p, "opb": out_n})
+        elif gate.cell_type in ("and2", "or2", "xor2"):
+            a = signal_nets[gate.inputs[0]]
+            b_low = shifters.shifted(gate.inputs[1],
+                                     signal_nets[gate.inputs[1]])
+            ports.update({"a": a[0], "ab": a[1],
+                          "bl": b_low[0], "blb": b_low[1],
+                          "op": out_p, "opb": out_n})
+        elif gate.cell_type == "mux2":
+            a = signal_nets[gate.inputs[0]]
+            b = signal_nets[gate.inputs[1]]
+            s_low = shifters.shifted(gate.inputs[2],
+                                     signal_nets[gate.inputs[2]])
+            ports.update({"a": a[0], "ab": a[1], "b": b[0], "bb": b[1],
+                          "sl": s_low[0], "slb": s_low[1],
+                          "op": out_p, "opb": out_n})
+        elif gate.cell_type == "dff":
+            d = signal_nets[gate.inputs[0]]
+            assert clock_low is not None
+            ports.update({"d": d[0], "db": d[1],
+                          "clkl": clock_low[0], "clklb": clock_low[1],
+                          "q": out_p, "qb": out_n})
+        else:  # pragma: no cover - guarded by LogicNetwork.add_gate
+            raise ValueError(f"cannot lower cell type {gate.cell_type!r}")
+
+        design.instances[gate.name] = instantiate(circuit, cell, gate.name,
+                                                  ports)
+    return design

@@ -1,0 +1,90 @@
+"""Engineering-unit helpers shared across the package.
+
+The paper quotes component values in SPICE-style engineering notation
+(``4 KOhm`` pipes, ``10 pF`` loads, ``53 ps`` delays).  This module provides
+multiplier constants, a parser for strings such as ``"4k"`` or ``"10pF"``,
+and a formatter that renders floats back into the same notation for reports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+# Multiplier constants, usable as ``4 * K`` or ``10 * PICO``.
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+_SUFFIXES = {
+    "f": FEMTO,
+    "p": PICO,
+    "n": NANO,
+    "u": MICRO,
+    "µ": MICRO,
+    "m": MILLI,
+    "k": KILO,
+    "meg": MEGA,
+    "g": GIGA,
+    "t": TERA,
+}
+
+# Order matters: "meg" must be tried before "m".
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?\d+(?:\.\d*)?(?:[eE][+-]?\d+)?)\s*(meg|f|p|n|u|µ|m|k|g|t)?"
+    r"\s*[a-zA-ZΩ]*\s*$"
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value string into a float.
+
+    Accepts plain numbers, engineering suffixes and an optional trailing
+    unit which is ignored:
+
+    >>> parse_value("4k")
+    4000.0
+    >>> parse_value("10pF")
+    1e-11
+    >>> parse_value("3.3")
+    3.3
+    >>> parse_value(250e-3)
+    0.25
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text.lower() if text.lower().startswith(tuple("0123456789+-.")) else text)
+    if match is None:
+        raise ValueError(f"cannot parse value {text!r}")
+    number = float(match.group(1))
+    suffix = match.group(2)
+    if suffix is None:
+        return number
+    return number * _SUFFIXES[suffix.lower()]
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a float in engineering notation, e.g. ``format_value(4e3, "Ohm")
+    == "4 kOhm"``.
+
+    Values of exactly zero render as ``"0 <unit>"``.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g} {unit}".strip()
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0)) * 3
+    exponent = min(max(exponent, -15), 12)
+    # "Meg" rather than "M" so formatted values reparse unambiguously
+    # (SPICE convention: "m" is always milli).
+    prefixes = {
+        -15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+        0: "", 3: "k", 6: "Meg", 9: "G", 12: "T",
+    }
+    scaled = value / 10.0 ** exponent
+    text = f"{scaled:.{digits}g} {prefixes[exponent]}{unit}"
+    return text.strip()

@@ -1,0 +1,65 @@
+"""Tests for technology characterization and delay calibration."""
+
+import pytest
+
+from repro.cml import (
+    CmlTechnology,
+    NOMINAL,
+    calibrate_delay,
+    characterize,
+    measure_stage_delay,
+)
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def figures(self):
+        return characterize(NOMINAL)
+
+    def test_swing_matches_design(self, figures):
+        assert figures["swing"] == pytest.approx(NOMINAL.swing, rel=0.05)
+
+    def test_vbe_matches_anchor(self, figures):
+        assert figures["vbe"] == pytest.approx(NOMINAL.vbe_on, abs=0.005)
+
+    def test_tail_current(self, figures):
+        assert figures["itail"] == pytest.approx(NOMINAL.itail, rel=0.02)
+
+    def test_stage_delay_near_paper(self, figures):
+        assert 35e-12 < figures["stage_delay"] < 65e-12
+
+    def test_power_per_gate(self, figures):
+        # 0.5 mA from 3.3 V ~ 1.65 mW per gate.
+        assert figures["gate_power"] == pytest.approx(1.65e-3, rel=0.05)
+
+    def test_max_toggle_frequency_consistent(self, figures):
+        assert figures["max_toggle_frequency"] == pytest.approx(
+            1.0 / (4 * figures["stage_delay"]))
+
+
+class TestCalibrateDelay:
+    def test_hits_slower_target(self):
+        result = calibrate_delay(70e-12, NOMINAL, tolerance=0.05)
+        assert result.achieved_delay == pytest.approx(70e-12, rel=0.05)
+        assert result.tech.c_wire > NOMINAL.c_wire
+
+    def test_hits_faster_target(self):
+        result = calibrate_delay(38e-12, NOMINAL, tolerance=0.05)
+        assert result.achieved_delay == pytest.approx(38e-12, rel=0.05)
+        assert result.tech.c_wire < NOMINAL.c_wire
+
+    def test_already_calibrated_short_circuit(self):
+        nominal_delay = measure_stage_delay(NOMINAL)
+        result = calibrate_delay(nominal_delay, NOMINAL, tolerance=0.05)
+        assert result.iterations == 1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            calibrate_delay(-1e-12)
+
+    def test_delay_monotone_in_c_wire(self):
+        slow = measure_stage_delay(CmlTechnology(c_wire=120e-15),
+                                   n_stages=4)
+        fast = measure_stage_delay(CmlTechnology(c_wire=20e-15),
+                                   n_stages=4)
+        assert slow > fast

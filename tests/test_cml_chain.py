@@ -1,0 +1,154 @@
+"""Tests of the Fig. 3 buffer chain: topology, levels, delay, healing."""
+
+import pytest
+
+from repro.circuit import Resistor
+from repro.cml import (
+    FIG3_INSTANCES,
+    FIG3_OUTPUTS,
+    NOMINAL,
+    buffer_chain,
+    differential_sine,
+    differential_square,
+)
+from repro.sim import differential_crossings, run_cycles
+
+TECH = NOMINAL
+
+
+@pytest.fixture(scope="module")
+def nominal_result():
+    chain = buffer_chain(TECH, frequency=100e6)
+    result = run_cycles(chain.circuit, 100e6, cycles=2.5,
+                        points_per_cycle=400)
+    return chain, result
+
+
+class TestChainTopology:
+    def test_paper_instance_names(self):
+        chain = buffer_chain(TECH)
+        assert tuple(i.name for i in chain.instances) == FIG3_INSTANCES
+
+    def test_paper_output_nets(self):
+        chain = buffer_chain(TECH)
+        assert tuple(p for p, _ in chain.output_nets) == FIG3_OUTPUTS
+        assert chain.output_nets[2] == ("op", "opb")
+
+    def test_dut_is_third_stage(self):
+        chain = buffer_chain(TECH)
+        assert chain.dut.name == "DUT"
+        assert chain.instances[2] is chain.dut
+
+    def test_dut_q3_addressable(self):
+        chain = buffer_chain(TECH)
+        q3 = chain.circuit["DUT.Q3"]
+        assert q3.net("b") == "vcs"
+        assert q3.net("e") == "0"
+
+    def test_stages_connected_in_series(self):
+        chain = buffer_chain(TECH)
+        for first, second in zip(chain.instances, chain.instances[1:]):
+            assert second.port("a") == first.port("op")
+            assert second.port("ab") == first.port("opb")
+
+    def test_taps_order(self):
+        chain = buffer_chain(TECH)
+        assert chain.taps() == ["va"] + list(FIG3_OUTPUTS)
+
+    def test_custom_length(self):
+        chain = buffer_chain(TECH, n_stages=4)
+        assert len(chain) == 4
+        assert [p for p, _ in chain.output_nets] == ["op1", "op2", "op3",
+                                                     "op4"]
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_chain(TECH, n_stages=0)
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError, match="match n_stages"):
+            buffer_chain(TECH, n_stages=3, instance_names=["A", "B"])
+
+    def test_validates_clean(self):
+        assert buffer_chain(TECH).circuit.validate() == []
+
+
+class TestChainBehaviour:
+    def test_every_stage_at_nominal_levels(self, nominal_result):
+        chain, result = nominal_result
+        for net, _ in chain.output_nets:
+            wave = result.wave(net).window(10e-9, 25e-9)
+            vlow, vhigh = wave.levels()
+            assert vhigh == pytest.approx(TECH.vhigh, abs=0.01)
+            assert vlow == pytest.approx(TECH.vlow, abs=0.02)
+
+    def test_outputs_complementary(self, nominal_result):
+        chain, result = nominal_result
+        diff = result.differential("op", "opb").window(10e-9, 25e-9)
+        assert abs(diff.values).max() == pytest.approx(TECH.swing, rel=0.1)
+
+    def test_per_stage_delay_near_paper(self, nominal_result):
+        """The paper reports ~53 ps per stage; our calibration targets
+        ~40-60 ps so relative (healing) claims carry over."""
+        chain, result = nominal_result
+        t_in = differential_crossings(result.wave("va"), result.wave("vab"),
+                                      "rise", after=10e-9)[0]
+        previous = t_in
+        delays = []
+        for net_p, net_n in chain.output_nets[:-1]:  # last stage unloaded
+            crossing = [t for t in differential_crossings(
+                result.wave(net_p), result.wave(net_n), "rise")
+                if t > previous]
+            delays.append(crossing[0] - previous)
+            previous = crossing[0]
+        for delay in delays[1:]:  # first stage sees the ideal source
+            assert 30e-12 < delay < 70e-12
+
+    def test_sine_stimulus_regenerates_to_square(self):
+        chain = buffer_chain(TECH, frequency=100e6,
+                             stimulus=differential_sine(TECH, 100e6))
+        result = run_cycles(chain.circuit, 100e6, cycles=2.5,
+                            points_per_cycle=400)
+        # Deep in the chain the limiting amplifiers square the sine up:
+        # the output spends most of its time on the rails.
+        wave = result.wave("op6").window(10e-9, 25e-9)
+        vlow, vhigh = wave.levels()
+        near_rail = ((wave.values > vhigh - 0.03) |
+                     (wave.values < vlow + 0.03)).mean()
+        assert near_rail > 0.75
+
+    def test_differential_square_antiphase(self):
+        wave_p, wave_n = differential_square(TECH, 1e9)
+        for t in (0.1e-9, 0.3e-9, 0.62e-9, 0.87e-9):
+            assert wave_p.value(t) + wave_n.value(t) == pytest.approx(
+                TECH.vhigh + TECH.vlow, abs=1e-9)
+
+
+class TestPipePhenomenology:
+    """The paper's core observation, ahead of the full fault framework:
+    a C-E pipe on the DUT current source doubles the swing locally and
+    heals downstream (Fig. 4)."""
+
+    @pytest.fixture(scope="class")
+    def piped_result(self):
+        chain = buffer_chain(TECH, frequency=100e6)
+        q3 = chain.circuit["DUT.Q3"]
+        chain.circuit.add(Resistor("PIPE", q3.net("c"), q3.net("e"), 4e3))
+        result = run_cycles(chain.circuit, 100e6, cycles=2.5,
+                            points_per_cycle=400)
+        return chain, result
+
+    def test_swing_nearly_doubles_at_dut(self, piped_result):
+        _, result = piped_result
+        swing = result.wave("op").window(10e-9, 25e-9).swing()
+        assert 1.7 * TECH.swing < swing < 2.7 * TECH.swing
+
+    def test_heals_by_stage_six(self, piped_result):
+        _, result = piped_result
+        swing6 = result.wave("op6").window(10e-9, 25e-9).swing()
+        assert swing6 == pytest.approx(TECH.swing, rel=0.05)
+
+    def test_vhigh_unaffected(self, piped_result):
+        _, result = piped_result
+        _, vhigh = result.wave("op").window(10e-9, 25e-9).levels()
+        assert vhigh == pytest.approx(TECH.vhigh, abs=0.01)

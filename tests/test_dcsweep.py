@@ -1,0 +1,139 @@
+"""Tests for DC sweep analysis and static hysteresis tracing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.circuit.subcircuit import instantiate
+from repro.cml import NOMINAL, VCS_NET, VGND_NET, buffer_cell
+from repro.dft import attach_comparator, ensure_vtest
+from repro.sim import ConvergenceError, dc_sweep, hysteresis_sweep
+
+TECH = NOMINAL
+
+
+def divider() -> Circuit:
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "in", "0", 0.0))
+    circuit.add(Resistor("R1", "in", "out", 1000))
+    circuit.add(Resistor("R2", "out", "0", 3000))
+    return circuit
+
+
+class TestLinearSweep:
+    def test_divider_line(self):
+        result = dc_sweep(divider(), "V1", np.linspace(0, 4, 9))
+        assert np.allclose(result.voltage("out"), 0.75 * result.values)
+
+    def test_transfer_pairs(self):
+        result = dc_sweep(divider(), "V1", [1.0, 2.0])
+        assert result.transfer("out") == pytest.approx([(1.0, 0.75),
+                                                        (2.0, 1.5)])
+
+    def test_original_circuit_untouched(self):
+        circuit = divider()
+        dc_sweep(circuit, "V1", [5.0])
+        assert circuit["V1"].waveform.dc() == 0.0
+
+    def test_bad_source(self):
+        with pytest.raises(TypeError):
+            dc_sweep(divider(), "R1", [1.0])
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            dc_sweep(divider(), "V1", [])
+
+    def test_as_waveform_crossings(self):
+        result = dc_sweep(divider(), "V1", np.linspace(0, 4, 41))
+        wave = result.as_waveform("out")
+        crossing = wave.first_crossing(1.5, "rise")
+        assert crossing == pytest.approx(2.0, abs=0.01)
+
+    def test_as_waveform_rejects_non_monotonic(self):
+        result = dc_sweep(divider(), "V1", [0.0, 2.0, 1.0])
+        with pytest.raises(ValueError):
+            result.as_waveform("out")
+
+    def test_decreasing_sweep_reversed(self):
+        result = dc_sweep(divider(), "V1", [4.0, 2.0, 0.0])
+        wave = result.as_waveform("out")
+        assert wave.times[0] == 0.0
+        assert wave.values[-1] == pytest.approx(3.0)
+
+
+class TestGateVtc:
+    def test_buffer_switching_threshold(self):
+        """The buffer's static VTC switches where the input crosses the
+        reference (the complementary input held at vmid)."""
+        circuit = Circuit()
+        TECH.add_supplies(circuit)
+        circuit.add(VoltageSource("VIN", "a", "0", TECH.vlow))
+        circuit.add(VoltageSource("VREF", "ab", "0", TECH.vmid))
+        instantiate(circuit, buffer_cell(TECH), "X1", {
+            "a": "a", "ab": "ab", "op": "op", "opb": "opb",
+            VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+        result = dc_sweep(circuit, "VIN",
+                          np.linspace(TECH.vlow, TECH.vhigh, 51))
+        vtc = result.as_waveform("op")
+        threshold = vtc.first_crossing(TECH.vmid, "rise")
+        assert threshold == pytest.approx(TECH.vmid, abs=0.01)
+
+    def test_vtc_saturates_at_rails(self):
+        circuit = Circuit()
+        TECH.add_supplies(circuit)
+        circuit.add(VoltageSource("VIN", "a", "0", TECH.vlow))
+        circuit.add(VoltageSource("VREF", "ab", "0", TECH.vmid))
+        instantiate(circuit, buffer_cell(TECH), "X1", {
+            "a": "a", "ab": "ab", "op": "op", "opb": "opb",
+            VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+        result = dc_sweep(circuit, "VIN",
+                          np.linspace(TECH.vlow, TECH.vhigh, 21))
+        curve = result.voltage("op")
+        assert curve[0] == pytest.approx(TECH.vlow, abs=0.02)
+        assert curve[-1] == pytest.approx(TECH.vhigh, abs=0.01)
+
+
+class TestStaticHysteresis:
+    def test_comparator_branches_differ(self):
+        """The DC counterpart of Fig. 12: forward and backward sweeps of
+        the forced vout switch at different input values."""
+        circuit = Circuit()
+        TECH.add_supplies(circuit)
+        ensure_vtest(circuit, TECH)
+        circuit.add(VoltageSource("VFORCE", "vout", "0", TECH.vtest))
+        nets = attach_comparator(circuit, "vout", tech=TECH)
+
+        down, up = hysteresis_sweep(circuit, "VFORCE",
+                                    start=TECH.vtest, stop=3.3, points=81)
+        flag_down = down.voltage(nets.flag) - down.voltage(nets.flagb)
+        flag_up = up.voltage(nets.flag) - up.voltage(nets.flagb)
+
+        # Switch points along each branch.
+        switch_down = down.values[np.argmax(flag_down < 0)]
+        switch_up = up.values[len(flag_up) - 1 - np.argmax(flag_up[::-1] < 0)]
+        assert switch_up > switch_down
+        band = switch_up - switch_down
+        assert 0.005 < band < 0.1
+
+    def test_static_band_matches_transient(self):
+        """Static and transient hysteresis characterisations agree."""
+        from repro.analysis import fig12_hysteresis
+
+        transient_result = fig12_hysteresis()
+
+        circuit = Circuit()
+        TECH.add_supplies(circuit)
+        ensure_vtest(circuit, TECH)
+        circuit.add(VoltageSource("VFORCE", "vout", "0", TECH.vtest))
+        nets = attach_comparator(circuit, "vout", tech=TECH)
+        down, up = hysteresis_sweep(circuit, "VFORCE",
+                                    start=TECH.vtest, stop=3.3, points=161)
+        flag_down = down.voltage(nets.flag) - down.voltage(nets.flagb)
+        flag_up = up.voltage(nets.flag) - up.voltage(nets.flagb)
+        switch_down = down.values[np.argmax(flag_down < 0)]
+        switch_up = up.values[len(flag_up) - 1 - np.argmax(flag_up[::-1] < 0)]
+
+        assert switch_down == pytest.approx(
+            transient_result.detect_threshold, abs=0.01)
+        assert switch_up == pytest.approx(
+            transient_result.release_threshold, abs=0.01)

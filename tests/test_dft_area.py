@@ -1,0 +1,62 @@
+"""Tests of the area-overhead model (sections 6.4-6.5)."""
+
+import pytest
+
+from repro.dft import (
+    area_variant1,
+    area_variant2,
+    area_variant3_shared,
+    area_xor_observer,
+    overhead_table,
+)
+
+
+class TestAreaReports:
+    def test_variant1_scales_with_gates(self):
+        small = area_variant1(10)
+        large = area_variant1(100)
+        assert large.total == pytest.approx(10 * small.total)
+
+    def test_shared_amortises(self):
+        """Per-gate effective area falls as more gates share the monitor."""
+        few = area_variant3_shared(5)
+        many = area_variant3_shared(45)
+        assert many.per_gate_effective < few.per_gate_effective
+
+    def test_sharing_bound_adds_groups(self):
+        one_group = area_variant3_shared(45, max_share=45)
+        two_groups = area_variant3_shared(46, max_share=45)
+        assert two_groups.shared_devices == pytest.approx(
+            2 * one_group.shared_devices)
+
+    def test_dual_emitter_cheaper_than_pair(self):
+        pair = area_variant3_shared(100, dual_emitter=False)
+        dual = area_variant3_shared(100, dual_emitter=True)
+        assert dual.per_gate_devices < pair.per_gate_devices
+
+    def test_xor_observer_most_expensive_per_gate(self):
+        """The paper's prior-art comparison: one test gate per circuit
+        gate is 'very high area overhead'."""
+        n = 100
+        xor = area_xor_observer(n)
+        shared = area_variant3_shared(n)
+        dual = area_variant3_shared(n, dual_emitter=True)
+        assert xor.per_gate_effective > shared.per_gate_effective
+        assert xor.per_gate_effective > 2 * dual.per_gate_effective
+
+    def test_overhead_table_ordering(self):
+        table = overhead_table(100)
+        assert set(table) == {
+            "xor-observer", "variant1", "variant2", "variant3-shared",
+            "variant3-dual-emitter",
+        }
+        assert table["variant3-dual-emitter"] < table["variant3-shared"]
+        assert table["variant3-shared"] < table["xor-observer"]
+        # The headline claim: 'little overhead' — shared dual-emitter
+        # monitoring costs less than half a buffer per gate.
+        assert table["variant3-dual-emitter"] < 0.5
+
+    def test_variant2_cheaper_than_variant1_in_area(self):
+        # Variant 1 needs a large detector device; variant 2 uses units.
+        assert (area_variant2(10).per_gate_effective
+                < area_variant1(10).per_gate_effective)

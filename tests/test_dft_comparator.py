@@ -1,0 +1,234 @@
+"""Tests of the variant-3 comparator, hysteresis and load sharing."""
+
+import pytest
+
+from repro.circuit import Circuit, Dc, Pwl, VoltageSource
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import (
+    ComparatorConfig,
+    MAX_SAFE_SHARE,
+    attach_comparator,
+    build_shared_monitor,
+    ensure_vtest,
+    group_pairs,
+    instrument_chain,
+    instrument_pairs,
+)
+from repro.faults import Pipe, inject
+from repro.sim import hysteresis_thresholds, operating_point, transient
+
+TECH = NOMINAL
+
+
+def _forced_vout_fixture(config=None):
+    """Comparator with vout forced by a slow triangular ramp."""
+    circuit = Circuit()
+    TECH.add_supplies(circuit)
+    ensure_vtest(circuit, TECH)
+    circuit.add(VoltageSource("VFORCE", "vout", "0",
+                              Pwl([(0.0, 3.70), (100e-9, 3.30),
+                                   (200e-9, 3.70)])))
+    nets = attach_comparator(circuit, "vout", tech=TECH,
+                             config=config or ComparatorConfig())
+    return circuit, nets
+
+
+def _flag_state(op, nets) -> bool:
+    """True = PASS (flag above flagb)."""
+    return op.voltage(nets.flag) > op.voltage(nets.flagb)
+
+
+class TestHysteresis:
+    @pytest.fixture(scope="class")
+    def thresholds(self):
+        circuit, nets = _forced_vout_fixture()
+        result = transient(circuit, t_stop=200e-9, dt=0.1e-9)
+        flag_diff = result.wave(nets.flag) - result.wave(nets.flagb)
+        return hysteresis_thresholds(result.wave("vout"), flag_diff, 0.0)
+
+    def test_two_distinct_thresholds(self, thresholds):
+        detect, release = thresholds
+        assert detect is not None and release is not None
+        assert release > detect
+
+    def test_band_width_tens_of_mv(self, thresholds):
+        """Paper Fig. 12: guaranteed-detect 3.54 V, guaranteed-pass 3.57 V
+        — a band of a few tens of mV just below vtest."""
+        detect, release = thresholds
+        width = release - detect
+        assert 0.01 < width < 0.08
+
+    def test_band_sits_below_vtest(self, thresholds):
+        detect, release = thresholds
+        assert TECH.vtest - 0.25 < detect < TECH.vtest
+        assert release < TECH.vtest
+
+    def test_no_false_detection_at_quiescent_level(self, thresholds):
+        """A fault-free single-gate monitor rests well above the release
+        threshold: a good gate is never wrongly declared defective."""
+        chain = buffer_chain(TECH, n_stages=1)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+        op = operating_point(chain.circuit)
+        _, release = thresholds
+        assert op.voltage(monitor.vout) > release
+
+    def test_wider_swing_wider_band(self):
+        def band(swing):
+            circuit, nets = _forced_vout_fixture(ComparatorConfig(swing=swing))
+            result = transient(circuit, t_stop=200e-9, dt=0.1e-9)
+            flag_diff = result.wave(nets.flag) - result.wave(nets.flagb)
+            detect, release = hysteresis_thresholds(result.wave("vout"),
+                                                    flag_diff, 0.0)
+            return release - detect
+
+        assert band(0.20) > band(0.12)
+
+    def test_feedback_off_removes_hysteresis(self):
+        circuit, nets = _forced_vout_fixture(ComparatorConfig(feedback=False))
+        result = transient(circuit, t_stop=200e-9, dt=0.1e-9)
+        flag_diff = result.wave(nets.flag) - result.wave(nets.flagb)
+        detect, release = hysteresis_thresholds(result.wave("vout"),
+                                                flag_diff, 0.0)
+        assert detect is not None and release is not None
+        assert abs(release - detect) < 0.012
+
+
+class TestComparatorDcBehaviour:
+    def test_pass_state_fault_free(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+        op = operating_point(chain.circuit)
+        assert _flag_state(op, monitor.nets)
+
+    def test_fail_state_with_pipe(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+        faulty = inject(chain.circuit, Pipe("DUT.Q3", 5e3))
+        op = operating_point(faulty)
+        assert not _flag_state(op, monitor.nets)
+
+    def test_flag_at_cml_levels(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+        op = operating_point(chain.circuit)
+        assert op.voltage(monitor.nets.flag) == pytest.approx(TECH.vhigh,
+                                                              abs=0.03)
+        assert op.voltage(monitor.nets.flagb) == pytest.approx(TECH.vlow,
+                                                               abs=0.03)
+
+    def test_r0_restores_vout(self):
+        """Without R0 the comparator bias current drags the fault-free
+        vout far down (the section-6.3 problem R0 exists to solve)."""
+        def quiescent_vout(r0):
+            chain = buffer_chain(TECH, n_stages=1)
+            monitor = build_shared_monitor(
+                chain.circuit, chain.output_nets,
+                comparator_config=ComparatorConfig(r0=r0))
+            op = operating_point(chain.circuit)
+            return op.voltage(monitor.vout)
+
+        assert quiescent_vout(40e3) > quiescent_vout(4e6) + 0.05
+
+
+class TestLoadSharing:
+    def test_vout_decreases_linearly_with_n(self):
+        points = []
+        for n in (1, 10, 20, 30):
+            chain = buffer_chain(TECH, n_stages=n)
+            monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+            op = operating_point(chain.circuit)
+            points.append((n, op.voltage(monitor.vout)))
+        drops = [(points[i][1] - points[i + 1][1]) /
+                 (points[i + 1][0] - points[i][0])
+                 for i in range(len(points) - 1)]
+        # Roughly constant per-gate slope (R0-dominated, paper Fig. 14).
+        assert all(0.3e-3 < d < 3e-3 for d in drops)
+        spread = max(drops) - min(drops)
+        assert spread < 0.7 * max(drops)
+
+    def test_safe_share_bound_order_of_45(self):
+        """The fault-free vout(N) line crosses the guaranteed-pass
+        threshold at N in the tens — the paper reports 45."""
+        circuit, nets = _forced_vout_fixture()
+        result = transient(circuit, t_stop=200e-9, dt=0.1e-9)
+        flag_diff = result.wave(nets.flag) - result.wave(nets.flagb)
+        _, release = hysteresis_thresholds(result.wave("vout"), flag_diff,
+                                           0.0)
+
+        samples = []
+        for n in (1, 20, 40):
+            chain = buffer_chain(TECH, n_stages=n)
+            monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+            op = operating_point(chain.circuit)
+            samples.append((n, op.voltage(monitor.vout)))
+        (n0, v0), (_n1, _v1), (n2, v2) = samples
+        slope = (v0 - v2) / (n2 - n0)
+        safe_n = (v0 - release) / slope + n0
+        assert 25 < safe_n < 70
+
+    def test_sharing_does_not_mask_fault(self):
+        """Paper: 'sharing will not obstruct fault detection'."""
+        chain = buffer_chain(TECH, n_stages=20)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets)
+        faulty = inject(chain.circuit, Pipe("X7.Q3", 5e3))
+        op = operating_point(faulty)
+        assert not _flag_state(op, monitor.nets)
+
+    def test_group_pairs(self):
+        pairs = [(f"o{i}", f"ob{i}") for i in range(10)]
+        groups = group_pairs(pairs, 4)
+        assert [len(g) for g in groups] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            group_pairs(pairs, 0)
+
+    def test_empty_monitor_rejected(self):
+        chain = buffer_chain(TECH, n_stages=1)
+        with pytest.raises(ValueError):
+            build_shared_monitor(chain.circuit, [])
+
+
+class TestInsertion:
+    def test_instrument_chain_groups(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain, max_share=3)
+        assert len(design.monitors) == 3
+        assert design.n_monitored_gates == 8
+        assert len(design.flag_nets()) == 3
+
+    def test_monitor_of_lookup(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain, max_share=3)
+        assert design.monitor_of("op") is design.monitors[0]
+        assert design.monitor_of("op6") is design.monitors[2]
+        with pytest.raises(KeyError):
+            design.monitor_of("bogus")
+
+    def test_default_share_bound(self):
+        assert MAX_SAFE_SHARE == 45
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain)
+        assert len(design.monitors) == 1
+
+    def test_instrumented_fault_free_passes(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain)
+        op = operating_point(chain.circuit)
+        for flag, flagb in design.flag_nets():
+            assert op.voltage(flag) > op.voltage(flagb)
+
+    def test_instrumented_detects_fault_in_right_group(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain, max_share=4)
+        faulty = inject(chain.circuit, Pipe("X55.Q3", 4e3))  # stage 6
+        op = operating_point(faulty)
+        states = [op.voltage(f) > op.voltage(fb)
+                  for f, fb in design.flag_nets()]
+        assert states[0] is True     # stages 1-4 clean
+        assert states[1] is False    # stages 5-8 contain the fault
+
+    def test_dual_emitter_insertion(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        design = instrument_chain(chain, dual_emitter=True)
+        q45_elements = [e for e in design.monitors[0].detector_elements
+                        if ".Q45" in e]
+        assert len(q45_elements) == 8

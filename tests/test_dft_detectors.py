@@ -1,0 +1,189 @@
+"""Tests of detector variants 1 and 2 (sections 6.1-6.2)."""
+
+import pytest
+
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import DetectorConfig, attach_variant1, attach_variant2, ensure_vtest
+from repro.dft import test_mode_entry as enter_test_mode  # avoid pytest collection
+from repro.faults import Pipe, inject
+from repro.sim import run_cycles
+
+TECH = NOMINAL
+FAST_CONFIG = DetectorConfig(load_cap=1e-12)
+
+
+def _variant1_response(pipe_resistance, cycles=30, config=FAST_CONFIG,
+                       frequency=100e6):
+    chain = buffer_chain(TECH, frequency=frequency)
+    detector = attach_variant1(chain.circuit, "op", "opb", tech=TECH,
+                               config=config)
+    circuit = chain.circuit
+    if pipe_resistance is not None:
+        circuit = inject(circuit, Pipe("DUT.Q3", pipe_resistance))
+    result = run_cycles(circuit, frequency, cycles=cycles,
+                        points_per_cycle=150)
+    return result.wave(detector.vout)
+
+
+def _variant2_response(pipe_resistance, cycles=30, config=FAST_CONFIG,
+                       frequency=100e6, dual_emitter=False):
+    chain = buffer_chain(TECH, frequency=frequency)
+    ensure_vtest(chain.circuit, TECH, enter_test_mode(TECH))
+    detector = attach_variant2(chain.circuit, "op", "opb", tech=TECH,
+                               config=config, dual_emitter=dual_emitter)
+    circuit = chain.circuit
+    if pipe_resistance is not None:
+        circuit = inject(circuit, Pipe("DUT.Q3", pipe_resistance))
+    # Start with vout precharged to its quiescent level: the DC solution
+    # pre-empts the detection the experiment is supposed to time.
+    result = run_cycles(circuit, frequency, cycles=cycles,
+                        points_per_cycle=150,
+                        cap_overrides={f"{detector.name}.C7": 0.0})
+    return result.wave(detector.vout)
+
+
+class TestVariant1:
+    """Single-sided excessive-swing detector (Fig. 6)."""
+
+    def test_fault_free_stays_high(self):
+        wave = _variant1_response(None, cycles=20)
+        assert wave.minimum() > TECH.vgnd - 0.2
+
+    def test_one_kohm_pipe_detected_fast(self):
+        wave = _variant1_response(1e3, cycles=20)
+        assert wave.minimum() < TECH.vgnd - 0.6
+        t_stab = wave.time_to_stability()
+        assert t_stab is not None and t_stab < 50e-9
+
+    def test_three_kohm_pipe_detected(self):
+        """3 kΩ pipe ~ 0.64 V amplitude: above the variant-1 threshold."""
+        wave = _variant1_response(3e3, cycles=30)
+        assert wave.minimum() < TECH.vgnd - 0.35
+
+    def test_five_kohm_pipe_escapes(self):
+        """5 kΩ pipe ~ 0.48 V amplitude: below the variant-1 threshold —
+        the gap variant 2 exists to close (paper: threshold 0.57 V)."""
+        wave = _variant1_response(5e3, cycles=30)
+        assert wave.minimum() > TECH.vgnd - 0.35
+
+    def test_detection_monotone_in_pipe_severity(self):
+        minima = [_variant1_response(r, cycles=20).minimum()
+                  for r in (1e3, 2e3, 4e3)]
+        assert minima[0] < minima[1] < minima[2]
+
+    def test_resistor_load_variant_works(self):
+        config = DetectorConfig(load="resistor", load_resistance=160e3,
+                                load_cap=1e-12)
+        wave = _variant1_response(1e3, cycles=20, config=config)
+        assert wave.minimum() < TECH.vgnd - 0.5
+
+    def test_bad_load_style_rejected(self):
+        chain = buffer_chain(TECH)
+        with pytest.raises(ValueError, match="load style"):
+            attach_variant1(chain.circuit, "op", "opb", tech=TECH,
+                            config=DetectorConfig(load="inductor"))
+
+    def test_elements_named_after_paper(self):
+        chain = buffer_chain(TECH)
+        detector = attach_variant1(chain.circuit, "op", "opb", tech=TECH)
+        assert "DET.Q4" in chain.circuit
+        assert "DET.Q5" in chain.circuit
+        assert "DET.C7" in chain.circuit
+        assert detector.variant == 1
+
+    def test_larger_load_cap_slows_detection(self):
+        small = _variant1_response(
+            1e3, cycles=25, config=DetectorConfig(load_cap=0.5e-12))
+        large = _variant1_response(
+            1e3, cycles=25, config=DetectorConfig(load_cap=5e-12))
+        t_small = small.time_to_stability()
+        t_large = large.time_to_stability()
+        assert t_small is not None
+        # The larger capacitor either hasn't stabilised or took longer.
+        assert t_large is None or t_large > t_small
+
+
+class TestVariant2:
+    """Double-sided detector with controlled bias (Fig. 9)."""
+
+    def test_fault_free_stays_high(self):
+        wave = _variant2_response(None, cycles=20)
+        assert wave.minimum() > TECH.vgnd - 0.1
+
+    def test_detects_below_variant1_threshold(self):
+        """5 kΩ (and even 7 kΩ) pipes are detected in test mode."""
+        for pipe in (5e3, 7e3):
+            wave = _variant2_response(pipe, cycles=20)
+            assert wave.minimum() < TECH.vgnd - 0.3, f"pipe {pipe} escaped"
+
+    def test_faster_than_variant1(self):
+        """Paper: variant-2 responds much faster.  Compare the time to
+        cross a fixed detection level below the quiescent vout."""
+        level = TECH.vgnd - 0.25
+        v1 = _variant1_response(3e3, cycles=30)
+        v2 = _variant2_response(3e3, cycles=30)
+        t1 = v1.first_crossing(level, "fall") or float("inf")
+        t2 = v2.first_crossing(level, "fall")
+        assert t2 is not None
+        assert t2 < t1
+
+    def test_normal_mode_non_intrusive(self):
+        """In normal mode (vtest = vgnd) the detector must not disturb the
+        monitored gate: its output levels and swing match the bare chain.
+        (This is the paper's 'non-intrusive built-in detectors' claim.)"""
+        from repro.circuit import Dc
+
+        bare = buffer_chain(TECH, frequency=100e6)
+        result_bare = run_cycles(bare.circuit, 100e6, cycles=10,
+                                 points_per_cycle=150)
+        monitored = buffer_chain(TECH, frequency=100e6)
+        ensure_vtest(monitored.circuit, TECH, Dc(TECH.vgnd))
+        attach_variant2(monitored.circuit, "op", "opb", tech=TECH,
+                        config=FAST_CONFIG)
+        result_mon = run_cycles(monitored.circuit, 100e6, cycles=10,
+                                points_per_cycle=150)
+
+        window = (5e-9, 20e-9)
+        for net in ("op", "opb", "op4"):
+            bare_levels = result_bare.wave(net).window(*window).levels()
+            mon_levels = result_mon.wave(net).window(*window).levels()
+            assert mon_levels[0] == pytest.approx(bare_levels[0], abs=0.01)
+            assert mon_levels[1] == pytest.approx(bare_levels[1], abs=0.01)
+
+    def test_dual_emitter_equivalent(self):
+        """Fig. 15: one dual-emitter device behaves like the Q4/Q5 pair."""
+        pair = _variant2_response(4e3, cycles=15)
+        dual = _variant2_response(4e3, cycles=15, dual_emitter=True)
+        assert dual.minimum() == pytest.approx(pair.minimum(), abs=0.05)
+        assert dual.values[-1] == pytest.approx(pair.values[-1], abs=0.05)
+
+    def test_dual_emitter_element_count(self):
+        chain = buffer_chain(TECH)
+        ensure_vtest(chain.circuit, TECH)
+        detector = attach_variant2(chain.circuit, "op", "opb", tech=TECH,
+                                   dual_emitter=True)
+        transistor_elements = [e for e in detector.elements
+                               if ".Q45" in e]
+        assert len(transistor_elements) == 1
+
+    def test_elements_named_after_paper(self):
+        chain = buffer_chain(TECH)
+        ensure_vtest(chain.circuit, TECH)
+        attach_variant2(chain.circuit, "op", "opb", tech=TECH)
+        assert "DET.Q4" in chain.circuit
+        assert "DET.Q5" in chain.circuit
+        assert "DET.Q6" in chain.circuit  # load diode per Fig. 9
+
+
+class TestTestModeEntry:
+    def test_waveform_levels(self):
+        wave = enter_test_mode(TECH, t_on=2e-9, ramp=1e-9)
+        assert wave.value(0.0) == TECH.vgnd
+        assert wave.value(1.9e-9) == TECH.vgnd
+        assert wave.value(3.1e-9) == TECH.vtest
+
+    def test_ensure_vtest_idempotent(self):
+        chain = buffer_chain(TECH)
+        ensure_vtest(chain.circuit, TECH)
+        ensure_vtest(chain.circuit, TECH)
+        assert "VTEST" in chain.circuit

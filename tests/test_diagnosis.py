@@ -1,0 +1,146 @@
+"""Tests for monitor-group fault localization (dft.diagnosis)."""
+
+import pytest
+
+from repro.circuit import VoltageSource
+from repro.cml import NOMINAL
+from repro.dft import (
+    Candidate,
+    Observation,
+    candidate_space,
+    diagnose,
+    distinguishing_vectors,
+    instrument_pairs,
+)
+from repro.faults import Bridge, inject
+from repro.sim import operating_point
+from repro.testgen import full_adder, synthesize
+
+TECH = NOMINAL
+
+
+class TestCandidateLogic:
+    def test_candidate_assertion_semantics(self):
+        op_side = Candidate("G", "op")
+        opb_side = Candidate("G", "opb")
+        assert op_side.asserted_by(False) is True
+        assert op_side.asserted_by(True) is False
+        assert opb_side.asserted_by(True) is True
+        assert op_side.asserted_by(None) is None
+
+    def test_candidate_space_size(self):
+        network = full_adder()
+        space = candidate_space(network, list(network.gates))
+        assert len(space) == 2 * len(network.gates)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            candidate_space(full_adder(), ["GHOST"])
+
+
+class TestPureLogicDiagnosis:
+    def _observations_for(self, network, candidate, vectors):
+        """Synthesize ideal observations for a hypothetical fault."""
+        observations = []
+        output = network.gates[candidate.gate].output
+        for vector in vectors:
+            value = network.evaluate(vector)[output]
+            observations.append(Observation(
+                vector, candidate.asserted_by(value)))
+        return observations
+
+    def test_self_consistency(self):
+        """Every candidate must survive its own ideal observations."""
+        network = full_adder()
+        group = list(network.gates)
+        vectors = distinguishing_vectors(network, group)
+        for candidate in candidate_space(network, group):
+            observations = self._observations_for(network, candidate,
+                                                  vectors)
+            result = diagnose(network, group, observations)
+            assert candidate in result.candidates
+
+    def test_distinguishing_vectors_localize(self):
+        """With the greedy vector set, most candidates become unique
+        (structural aliases — gates with identical assertion patterns —
+        may legitimately survive together)."""
+        network = full_adder()
+        group = list(network.gates)
+        vectors = distinguishing_vectors(network, group)
+        ambiguous = 0
+        for candidate in candidate_space(network, group):
+            observations = self._observations_for(network, candidate,
+                                                  vectors)
+            result = diagnose(network, group, observations)
+            if len(result.candidates) > 1:
+                ambiguous += 1
+        assert ambiguous <= 2  # at most one aliased pair in the adder
+
+    def test_contradictory_observations_empty(self):
+        network = full_adder()
+        group = list(network.gates)
+        vector = {"a": True, "b": True, "cin": True}
+        observations = [Observation(vector, True),
+                        Observation(vector, False)]
+        result = diagnose(network, group, observations)
+        assert result.candidates == []
+
+    def test_no_observations_keeps_everything(self):
+        network = full_adder()
+        group = ["A1", "O1"]
+        result = diagnose(network, group, [])
+        assert len(result.candidates) == 4
+        assert not result.localized
+
+
+class TestAnalogDiagnosis:
+    """The full loop: analog flag readings localize a physical leak."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        network = full_adder()
+        design = synthesize(network, TECH)
+        monitors = instrument_pairs(design.circuit,
+                                    design.gate_output_pairs(), TECH)
+        return network, design, monitors
+
+    def _observe(self, design, monitors, vector, defect):
+        circuit = design.circuit.copy()
+        for signal, value in vector.items():
+            p, n = design.pair(signal)
+            vp = TECH.vhigh if value else TECH.vlow
+            vn = TECH.vlow if value else TECH.vhigh
+            circuit.add(VoltageSource(f"V_{signal}", p, "0", vp))
+            circuit.add(VoltageSource(f"V_{signal}b", n, "0", vn))
+        circuit = inject(circuit, defect)
+        solution = operating_point(circuit)
+        flag, flagb = monitors.flag_nets()[0]
+        return solution.voltage(flag) < solution.voltage(flagb)
+
+    def test_single_sided_leak_localized(self, setup):
+        network, design, monitors = setup
+        # Resistive leak from A1's positive output to vee: deepens only
+        # the op side, asserted exactly when A1's output is logic 0.
+        defect = Bridge("ab", "0", 8e3)
+        group = list(network.gates)
+        vectors = distinguishing_vectors(network, group)
+        observations = [
+            Observation(v, self._observe(design, monitors, v, defect))
+            for v in vectors]
+        result = diagnose(network, group, observations)
+        assert result.localized
+        assert result.candidates[0].gate == "A1"
+        assert result.candidates[0].side == "op"
+
+    def test_leak_on_other_gate_distinguished(self, setup):
+        network, design, monitors = setup
+        # Same defect class on the X1 XOR output ('axb').
+        defect = Bridge("axb", "0", 8e3)
+        group = list(network.gates)
+        vectors = distinguishing_vectors(network, group)
+        observations = [
+            Observation(v, self._observe(design, monitors, v, defect))
+            for v in vectors]
+        result = diagnose(network, group, observations)
+        assert "X1" in result.gates()
+        assert "A1" not in result.gates()

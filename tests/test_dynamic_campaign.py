@@ -1,0 +1,132 @@
+"""Tests for the dynamic (toggling) fault campaign.
+
+Also documents a genuine finding of the reproduction: many static-
+campaign escapes are *inherently* amplitude-undetectable — pair-
+transistor pipes either freeze the gate at legal levels (a stuck-at,
+logic territory) or produce sub-threshold excursions.  The dynamic
+campaign's payoff is the polarity-dependent class: single-sided faults
+whose damaged side happens to be high at the static vector.
+"""
+
+import pytest
+
+from repro.circuit import VoltageSource
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import build_shared_monitor, instrument_pairs
+from repro.faults import (
+    Bridge,
+    FlagOracle,
+    Pipe,
+    run_campaign,
+    run_dynamic_campaign,
+)
+from repro.sim import operating_point
+from repro.testgen import full_adder, synthesize
+
+TECH = NOMINAL
+
+
+class TestDynamicCampaignBasics:
+    @pytest.fixture(scope="class")
+    def chain_setup(self):
+        chain = buffer_chain(TECH, n_stages=3, frequency=100e6)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                       tech=TECH)
+        return chain, monitor
+
+    def test_q3_pipe_caught(self, chain_setup):
+        chain, monitor = chain_setup
+        result = run_dynamic_campaign(
+            chain.circuit, [Pipe("X2.Q3", 4e3)],
+            monitor.nets.flag, monitor.nets.flagb,
+            cycles=3, points_per_cycle=150)
+        assert result.records[0].caught
+        assert result.caught_fraction == 1.0
+
+    def test_fault_free_like_mild_defect_passes(self, chain_setup):
+        chain, monitor = chain_setup
+        result = run_dynamic_campaign(
+            chain.circuit, [Pipe("X2.Q3", 50e3)],  # negligible pipe
+            monitor.nets.flag, monitor.nets.flagb,
+            cycles=3, points_per_cycle=150)
+        assert not result.records[0].caught
+        assert result.records[0].min_flag_differential > 0
+
+    def test_pair_transistor_pipe_is_stuck_at_not_amplitude(self,
+                                                            chain_setup):
+        """A severe pipe on a differential-pair transistor reroutes the
+        tail permanently: the output freezes at *legal* levels.  The
+        amplitude detector rightly stays quiet — this defect belongs to
+        the logic-test class (the complementarity the paper argues)."""
+        chain, monitor = chain_setup
+        defect = Pipe("X2.Q1", 1e3)
+        dynamic = run_dynamic_campaign(
+            chain.circuit, [defect], monitor.nets.flag,
+            monitor.nets.flagb, cycles=3, points_per_cycle=150)
+        assert not dynamic.records[0].caught
+        # ...but the frozen output is a logic fault at some vector: with
+        # the stimulus toggling, op2 never rises — check directly.
+        from repro.faults import inject
+        from repro.sim import run_cycles
+
+        run = run_cycles(inject(chain.circuit, defect), 100e6, cycles=3,
+                         points_per_cycle=150)
+        op2 = run.wave("op2").window(10e-9, 30e-9)
+        assert op2.extreme_swing() < 0.2 * TECH.swing  # frozen
+
+    def test_format_table(self, chain_setup):
+        chain, monitor = chain_setup
+        result = run_dynamic_campaign(
+            chain.circuit, [Pipe("X2.Q3", 4e3)],
+            monitor.nets.flag, monitor.nets.flagb,
+            cycles=3, points_per_cycle=150)
+        assert "coverage" in result.format()
+
+
+class TestPolarityDependentFault:
+    """The §6.6 scenario: a single-sided fault asserted only when the
+    gate output takes one value — static vector misses it, toggling
+    catches it."""
+
+    @pytest.fixture(scope="class")
+    def adder_setup(self):
+        network = full_adder()
+        design = synthesize(network, TECH)
+        circuit = design.circuit
+        # Inputs that toggle A1's output: a at 50 MHz, b at 25 MHz,
+        # cin constant low.
+        from repro.circuit import Pulse
+
+        for signal, wave_p, wave_n in (
+            ("a", Pulse.square(TECH.vlow, TECH.vhigh, 50e6),
+             Pulse.square(TECH.vhigh, TECH.vlow, 50e6)),
+            ("b", Pulse.square(TECH.vlow, TECH.vhigh, 25e6),
+             Pulse.square(TECH.vhigh, TECH.vlow, 25e6)),
+        ):
+            p, n = design.pair(signal)
+            circuit.add(VoltageSource(f"V_{signal}", p, "0", wave_p))
+            circuit.add(VoltageSource(f"V_{signal}b", n, "0", wave_n))
+        p, n = design.pair("cin")
+        circuit.add(VoltageSource("V_cin", p, "0", TECH.vlow))
+        circuit.add(VoltageSource("V_cinb", n, "0", TECH.vhigh))
+        monitors = instrument_pairs(circuit, design.gate_output_pairs(),
+                                    TECH)
+        return design, monitors
+
+    def test_static_escape_dynamic_catch(self, adder_setup):
+        design, monitors = adder_setup
+        flag, flagb = monitors.flag_nets()[0]
+        # Leak on A1's op side, asserted when A1 = 0.  The DC vector
+        # (a = 0 at t = 0 means... a starts low, b starts low -> A1 = 0
+        # asserted!) — pick the leak on the *opb* side instead: asserted
+        # when A1 = 1, which never holds at the DC vector (a=b=0).
+        defect = Bridge("ab_b", "0", 6e3)
+
+        static = run_campaign(design.circuit, [defect],
+                              [FlagOracle(flag, flagb)])
+        assert static.records[0].verdicts["detector"] == "pass"
+
+        dynamic = run_dynamic_campaign(
+            design.circuit, [defect], flag, flagb,
+            frequency=25e6, cycles=2.5, points_per_cycle=300)
+        assert dynamic.records[0].caught

@@ -1,0 +1,80 @@
+"""Tests for the Early-effect (VAF) extension of the BJT model."""
+
+import pytest
+
+from repro.circuit import Bjt, Circuit, Resistor, VoltageSource
+from repro.sim import kcl_residuals, operating_point
+
+
+def common_base_ic(vce: float, vaf: float) -> float:
+    """Collector current of a fixed-VBE transistor at a forced VCE."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("VB", "b", "0", 0.85))
+    circuit.add(VoltageSource("VC", "c", "0", vce))
+    circuit.add(Bjt("Q1", "c", "b", "0", isat=4e-19, vaf=vaf))
+    op = operating_point(circuit)
+    return op.operating_info("Q1")["ic"]
+
+
+class TestEarlyEffect:
+    def test_disabled_by_default(self):
+        assert Bjt("Q", "c", "b", "e").vaf == 0.0
+
+    def test_negative_vaf_rejected(self):
+        with pytest.raises(ValueError):
+            Bjt("Q", "c", "b", "e", vaf=-10)
+
+    def test_ic_increases_with_vce(self):
+        """Finite output resistance: IC grows ~linearly with VCE."""
+        low = common_base_ic(1.0, vaf=20.0)
+        high = common_base_ic(3.0, vaf=20.0)
+        assert high > low
+        # Slope consistent with the Early model: IC ~ (1 + VCE/VAF).
+        expected_ratio = (1 + (3.0 - 0.85) / 20.0) / (1 + (1.0 - 0.85) / 20.0)
+        assert high / low == pytest.approx(expected_ratio, rel=0.03)
+
+    def test_infinite_vaf_flat(self):
+        low = common_base_ic(1.0, vaf=0.0)
+        high = common_base_ic(3.0, vaf=0.0)
+        assert high == pytest.approx(low, rel=1e-6)
+
+    def test_kcl_with_vaf(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("VCC", "vcc", "0", 5.0))
+        circuit.add(Resistor("RB", "vcc", "b", 200e3))
+        circuit.add(Resistor("RC", "vcc", "c", 1000))
+        circuit.add(Bjt("Q1", "c", "b", "0", isat=1e-16, vaf=30.0))
+        op = operating_point(circuit)
+        residuals = kcl_residuals(circuit, op)
+        assert max(abs(r) for r in residuals.values()) < 1e-7
+
+    def test_terminal_currents_sum_to_zero(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("VB", "b", "0", 0.85))
+        circuit.add(VoltageSource("VC", "c", "0", 2.0))
+        circuit.add(Bjt("Q1", "c", "b", "0", isat=4e-19, vaf=15.0))
+        op = operating_point(circuit)
+        info = op.operating_info("Q1")
+        assert info["ic"] + info["ib"] + info["ie"] == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_saturation_remains_well_posed(self):
+        """Deep saturation (large forward vbc) must still converge with
+        the clamped Early factor."""
+        circuit = Circuit()
+        circuit.add(VoltageSource("VB", "b", "0", 0.9))
+        circuit.add(Resistor("RC", "b", "c", 50.0))  # collector near base
+        circuit.add(Bjt("Q1", "c", "b", "0", isat=4e-19, vaf=10.0))
+        op = operating_point(circuit)
+        assert 0.0 < op.voltage("c") <= 0.9
+
+    def test_vaf_survives_spice_roundtrip(self):
+        from repro.circuit import from_spice, to_spice
+
+        circuit = Circuit()
+        circuit.add(VoltageSource("VB", "b", "0", 0.85))
+        circuit.add(Resistor("RC", "b", "c", 100))
+        circuit.add(Bjt("Q1", "c", "b", "0", vaf=25.0))
+        parsed = from_spice(to_spice(circuit))
+        transistors = [c for c in parsed if isinstance(c, Bjt)]
+        assert transistors[0].vaf == pytest.approx(25.0)

@@ -1,0 +1,108 @@
+"""Tests for the ring oscillator and the process-variation machinery."""
+
+import random
+
+import pytest
+
+from repro.circuit import Capacitor, Resistor
+from repro.cml import NOMINAL, buffer_chain, measure_frequency, ring_oscillator
+from repro.analysis.variation import (
+    chain_delay,
+    delay_escape_study,
+    perturb_chain,
+    slow_down_stage,
+)
+
+TECH = NOMINAL
+
+
+class TestRingOscillator:
+    def test_minimum_stages(self):
+        with pytest.raises(ValueError):
+            ring_oscillator(TECH, n_stages=2)
+
+    def test_oscillates_at_expected_frequency(self):
+        oscillator = ring_oscillator(TECH, n_stages=5)
+        frequency = measure_frequency(oscillator)
+        assert frequency is not None
+        implied_stage = 1.0 / (2 * 5 * frequency)
+        # Cross-check against the edge-measured stage delay (~48 ps).
+        assert 30e-12 < implied_stage < 70e-12
+
+    def test_frequency_scales_with_ring_length(self):
+        f5 = measure_frequency(ring_oscillator(TECH, n_stages=5))
+        f7 = measure_frequency(ring_oscillator(TECH, n_stages=7),
+                               t_stop=12e-9)
+        assert f5 is not None and f7 is not None
+        assert f7 < f5
+        assert f5 / f7 == pytest.approx(7.0 / 5.0, rel=0.15)
+
+    def test_full_swing_oscillation(self):
+        from repro.sim import transient
+
+        oscillator = ring_oscillator(TECH, n_stages=5)
+        result = transient(oscillator.circuit, t_stop=8e-9, dt=5e-12)
+        tail = result.wave("r0").window(4e-9, 8e-9)
+        assert tail.extreme_swing() > 0.8 * TECH.swing
+
+
+class TestPerturbation:
+    def test_perturb_changes_components(self):
+        chain = buffer_chain(TECH, n_stages=4)
+        nominal_r = chain.circuit["X1.R1"].resistance
+        perturb_chain(chain, sigma=0.1, rng=random.Random(1))
+        values = [chain.circuit[f"X{i}.R1"].resistance for i in (1, 2, 3, 4)]
+        assert any(abs(v - nominal_r) > 1e-6 for v in values)
+        assert len(set(round(v, 6) for v in values)) > 1  # per-stage
+
+    def test_perturb_bounded(self):
+        chain = buffer_chain(TECH, n_stages=8)
+        perturb_chain(chain, sigma=0.1, rng=random.Random(2))
+        for component in chain.circuit.components_of_type(Resistor):
+            if component.name.endswith(("R1", "R2")):
+                assert 0.7 * TECH.rc - 1 <= component.resistance \
+                    <= 1.3 * TECH.rc + 1
+
+    def test_zero_sigma_is_identity(self):
+        chain = buffer_chain(TECH, n_stages=3)
+        perturb_chain(chain, sigma=0.0, rng=random.Random(3))
+        assert chain.circuit["X1.R1"].resistance == TECH.rc
+
+    def test_slow_down_stage_scales_caps(self):
+        chain = buffer_chain(TECH, n_stages=4)
+        slow_down_stage(chain, 1, 2.0)
+        assert chain.circuit["X2.CW1"].capacitance == pytest.approx(
+            2 * TECH.c_wire)
+        assert chain.circuit["X1.CW1"].capacitance == pytest.approx(
+            TECH.c_wire)
+
+    def test_slow_stage_increases_delay(self):
+        clean = buffer_chain(TECH, n_stages=6)
+        slow = buffer_chain(TECH, n_stages=6)
+        slow_down_stage(slow, 3, 2.5)
+        assert chain_delay(slow) > chain_delay(clean) + 20e-12
+
+    def test_perturbed_delay_spread(self):
+        delays = []
+        for seed in range(4):
+            chain = buffer_chain(TECH, n_stages=6)
+            perturb_chain(chain, sigma=0.1, rng=random.Random(seed))
+            delays.append(chain_delay(chain))
+        assert max(delays) - min(delays) > 5e-12
+
+
+class TestEscapeStudy:
+    def test_study_runs_and_reports(self):
+        study = delay_escape_study(n_stages=6, n_samples=3,
+                                   check_detector=False, seed=5)
+        assert len(study.fault_free_delays) == 3
+        assert len(study.faulty_delays) == 3
+        assert 0.0 <= study.escape_fraction <= 1.0
+        assert "escape" in study.format()
+
+    def test_faulty_population_slower_on_average(self):
+        study = delay_escape_study(n_stages=6, n_samples=3,
+                                   check_detector=False, seed=6)
+        mean_ff = sum(study.fault_free_delays) / 3
+        mean_faulty = sum(study.faulty_delays) / 3
+        assert mean_faulty > mean_ff

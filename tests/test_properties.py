@@ -1,0 +1,314 @@
+"""Property-based tests (hypothesis) on engine and toolkit invariants.
+
+These attack the foundations with randomly generated structures:
+
+* the MNA engine must satisfy Kirchhoff's laws and linear-circuit
+  superposition on arbitrary resistor networks;
+* nonlinear operating points must respect device physics bounds;
+* waveform measurements must obey ordering/bound invariants;
+* fault injection must be additive and reversible (for short-class
+  defects);
+* the logic simulator must be monotone in the 3-valued information order.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.circuit import (
+    Bjt,
+    Circuit,
+    Diode,
+    Resistor,
+    VoltageSource,
+)
+from repro.faults import Bridge, Pipe, inject, injected_names, strip_faults
+from repro.sim import kcl_residuals, operating_point
+from repro.sim.waveform import Waveform
+from repro.testgen import (
+    Lfsr,
+    LogicNetwork,
+    full_adder,
+    random_vectors,
+)
+from repro.units import format_value, parse_value
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Random linear networks
+# ----------------------------------------------------------------------
+@st.composite
+def resistor_ladders(draw):
+    """A random series-parallel resistor ladder driven by one source."""
+    n_nodes = draw(st.integers(min_value=2, max_value=8))
+    vsrc = draw(st.floats(min_value=-10, max_value=10,
+                          allow_nan=False, allow_infinity=False))
+    edges = []
+    # A spanning chain guarantees connectivity to ground.
+    for i in range(n_nodes - 1):
+        r = draw(st.floats(min_value=1.0, max_value=1e6))
+        edges.append((f"n{i}", f"n{i + 1}", r))
+    extra = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        b = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        if a == b:
+            continue
+        r = draw(st.floats(min_value=1.0, max_value=1e6))
+        edges.append((f"n{a}", f"n{b}", r))
+    return vsrc, n_nodes, edges
+
+
+def build_ladder(vsrc, n_nodes, edges):
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "n0", "0", vsrc))
+    circuit.add(Resistor("Rgnd", f"n{n_nodes - 1}", "0", 1000.0))
+    for index, (a, b, r) in enumerate(edges):
+        circuit.add(Resistor(f"R{index}", a, b, r))
+    return circuit
+
+
+class TestLinearNetworkProperties:
+    @given(resistor_ladders())
+    @settings(max_examples=40, **COMMON)
+    def test_kcl_holds_everywhere(self, ladder):
+        circuit = build_ladder(*ladder)
+        op = operating_point(circuit)
+        residuals = kcl_residuals(circuit, op)
+        assert max(abs(r) for r in residuals.values()) < 1e-6
+
+    @given(resistor_ladders())
+    @settings(max_examples=40, **COMMON)
+    def test_voltages_bounded_by_source(self, ladder):
+        """A resistive network cannot exceed the source's voltage range."""
+        vsrc, n_nodes, edges = ladder
+        circuit = build_ladder(vsrc, n_nodes, edges)
+        op = operating_point(circuit)
+        low, high = min(0.0, vsrc), max(0.0, vsrc)
+        for net, voltage in op.voltages().items():
+            assert low - 1e-6 <= voltage <= high + 1e-6
+
+    @given(resistor_ladders(),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=30, **COMMON)
+    def test_linearity_under_source_scaling(self, ladder, scale):
+        """Scaling the only source scales every node voltage (linearity)."""
+        vsrc, n_nodes, edges = ladder
+        assume(abs(vsrc) > 1e-3)
+        op1 = operating_point(build_ladder(vsrc, n_nodes, edges))
+        op2 = operating_point(build_ladder(vsrc * scale, n_nodes, edges))
+        for net, voltage in op1.voltages().items():
+            assert op2.voltage(net) == pytest.approx(voltage * scale,
+                                                     rel=1e-6, abs=1e-9)
+
+    @given(resistor_ladders())
+    @settings(max_examples=30, **COMMON)
+    def test_source_power_equals_dissipation(self, ladder):
+        """Tellegen: power delivered by the source equals the sum of
+        resistor dissipations."""
+        circuit = build_ladder(*ladder)
+        op = operating_point(circuit)
+        source_power = -op.operating_info("V1").get("power", 0.0)
+        dissipated = sum(op.operating_info(r.name)["power"]
+                         for r in circuit.components_of_type(Resistor))
+        assert dissipated == pytest.approx(source_power, rel=1e-6,
+                                           abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Nonlinear operating points
+# ----------------------------------------------------------------------
+class TestNonlinearProperties:
+    @given(st.floats(min_value=0.5, max_value=20.0),
+           st.floats(min_value=100.0, max_value=100e3))
+    @settings(max_examples=30, **COMMON)
+    def test_diode_forward_drop_band(self, vsrc, r):
+        """A forward-biased silicon diode drops 0.4-1.1 V over any
+        reasonable drive, and the current matches Ohm's law on R."""
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", vsrc))
+        circuit.add(Resistor("R1", "in", "d", r))
+        circuit.add(Diode("D1", "d", "0", isat=1e-15))
+        op = operating_point(circuit)
+        vd = op.voltage("d")
+        assert 0.3 < vd < 1.2
+        assert (vsrc - vd) / r > 0
+
+    @given(st.floats(min_value=0.75, max_value=1.05),
+           st.floats(min_value=200.0, max_value=2000.0))
+    @settings(max_examples=30, **COMMON)
+    def test_bjt_collector_current_physics(self, vb, rc):
+        """In forward-active bias, IC ~ beta * IB and terminal currents
+        sum to zero."""
+        circuit = Circuit()
+        circuit.add(VoltageSource("VCC", "vcc", "0", 3.3))
+        circuit.add(VoltageSource("VB", "b", "0", vb))
+        circuit.add(Resistor("RC", "vcc", "c", rc))
+        circuit.add(Bjt("Q1", "c", "b", "0", isat=4e-19, beta_f=200))
+        op = operating_point(circuit)
+        info = op.operating_info("Q1")
+        assert info["ic"] + info["ib"] + info["ie"] == pytest.approx(
+            0.0, abs=1e-12)
+        if info["vce"] > 0.4:  # forward active
+            assert info["ic"] == pytest.approx(200 * info["ib"], rel=0.05)
+
+    @given(st.floats(min_value=1e3, max_value=50e3))
+    @settings(max_examples=20, **COMMON)
+    def test_pipe_monotone_in_resistance(self, pipe_r):
+        """A smaller pipe resistance always produces a lower (or equal)
+        faulty output low level."""
+        from repro.cml import NOMINAL, buffer_chain
+
+        def low_level(resistance):
+            chain = buffer_chain(NOMINAL, n_stages=3, frequency=100e6)
+            faulty = inject(chain.circuit, Pipe("X2.Q3", resistance))
+            op = operating_point(faulty)
+            return min(op.voltage("op2"), op.voltage("opb2"))
+
+        assert low_level(pipe_r * 0.5) <= low_level(pipe_r) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Waveform invariants
+# ----------------------------------------------------------------------
+@st.composite
+def waveforms(draw):
+    n = draw(st.integers(min_value=4, max_value=120))
+    values = draw(st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=n, max_size=n))
+    times = np.linspace(0.0, 1.0, n)
+    return Waveform(times, np.array(values))
+
+
+class TestWaveformProperties:
+    @given(waveforms(), st.floats(min_value=-49, max_value=49))
+    @settings(max_examples=60, **COMMON)
+    def test_crossings_sorted_and_within_range(self, wave, level):
+        crossings = wave.crossings(level)
+        assert crossings == sorted(crossings)
+        for t in crossings:
+            assert wave.t_start <= t <= wave.t_stop
+
+    @given(waveforms(), st.floats(min_value=-49, max_value=49))
+    @settings(max_examples=60, **COMMON)
+    def test_rise_plus_fall_equals_both(self, wave, level):
+        rises = wave.crossings(level, "rise")
+        falls = wave.crossings(level, "fall")
+        both = wave.crossings(level, "both")
+        assert sorted(rises + falls) == both
+
+    @given(waveforms())
+    @settings(max_examples=60, **COMMON)
+    def test_levels_within_extremes(self, wave):
+        vlow, vhigh = wave.levels()
+        assert wave.minimum() - 1e-9 <= vlow <= vhigh <= wave.maximum() + 1e-9
+        assert wave.swing() <= wave.extreme_swing() + 1e-9
+
+    @given(waveforms(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, **COMMON)
+    def test_value_at_within_extremes(self, wave, t):
+        value = wave.value_at(t)
+        assert wave.minimum() - 1e-9 <= value <= wave.maximum() + 1e-9
+
+    @given(waveforms())
+    @settings(max_examples=40, **COMMON)
+    def test_window_preserves_values(self, wave):
+        sub = wave.window(0.25, 0.75)
+        assert sub.minimum() >= wave.minimum() - 1e-9
+        assert sub.maximum() <= wave.maximum() + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class TestInjectionProperties:
+    @given(st.integers(min_value=1, max_value=20),
+           st.floats(min_value=1e3, max_value=10e3))
+    @settings(max_examples=20, **COMMON)
+    def test_inject_strip_roundtrip(self, stage, pipe_r):
+        from repro.cml import NOMINAL, buffer_chain
+
+        chain = buffer_chain(NOMINAL, n_stages=8)
+        stage = stage % 8
+        name = chain.instances[stage].name
+        faulty = inject(chain.circuit, Pipe(f"{name}.Q3", pipe_r))
+        assert len(injected_names(faulty)) == 1
+        clean = strip_faults(faulty)
+        assert len(clean) == len(chain.circuit)
+        assert injected_names(clean) == []
+
+    @given(st.data())
+    @settings(max_examples=20, **COMMON)
+    def test_bridge_symmetric(self, data):
+        """Bridging (a, b) and (b, a) are electrically identical."""
+        from repro.cml import NOMINAL, buffer_chain
+
+        chain = buffer_chain(NOMINAL, n_stages=3)
+        nets = ["op1", "opb1", "op2", "opb2", "op3"]
+        a = data.draw(st.sampled_from(nets))
+        b = data.draw(st.sampled_from([n for n in nets if n != a]))
+        op_ab = operating_point(inject(chain.circuit, Bridge(a, b)))
+        op_ba = operating_point(inject(chain.circuit, Bridge(b, a)))
+        for net in nets:
+            assert op_ab.voltage(net) == pytest.approx(op_ba.voltage(net),
+                                                       abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Logic simulator and patterns
+# ----------------------------------------------------------------------
+class TestLogicProperties:
+    @given(st.integers(min_value=1, max_value=(1 << 16) - 1),
+           st.integers(min_value=8, max_value=64))
+    @settings(max_examples=40, **COMMON)
+    def test_lfsr_never_hits_zero(self, seed, steps):
+        lfsr = Lfsr(order=16, seed=seed)
+        for _ in range(steps):
+            lfsr.next_bit()
+            assert lfsr.state != 0
+
+    @given(st.lists(st.booleans(), min_size=3, max_size=3))
+    @settings(max_examples=8, **COMMON)
+    def test_x_monotonicity_full_adder(self, bits):
+        """Replacing any known input by X never flips a known output to
+        the opposite value (3-valued monotonicity)."""
+        network = full_adder()
+        names = ["a", "b", "cin"]
+        full = network.evaluate(dict(zip(names, bits)))
+        for dropped in names:
+            partial_inputs = {n: v for n, v in zip(names, bits)
+                              if n != dropped}
+            partial = network.evaluate(partial_inputs)
+            for signal, value in partial.items():
+                if value is not None:
+                    assert value == full[signal]
+
+    @given(st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=30, **COMMON)
+    def test_random_vectors_deterministic(self, seed):
+        a = random_vectors(["x", "y"], 16, seed=seed)
+        b = random_vectors(["x", "y"], 16, seed=seed)
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+class TestUnitProperties:
+    @given(st.floats(min_value=1e-14, max_value=1e11, allow_nan=False))
+    @settings(max_examples=100, **COMMON)
+    def test_format_parse_roundtrip(self, value):
+        text = format_value(value, "V", digits=9)
+        assert parse_value(text.replace(" ", "")) == pytest.approx(
+            value, rel=1e-6)
+
+    @given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+    @settings(max_examples=100, **COMMON)
+    def test_parse_plain_float_identity(self, value):
+        assert parse_value(str(value)) == pytest.approx(value)

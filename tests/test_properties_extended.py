@@ -1,0 +1,181 @@
+"""Second property-test batch: the newer subsystems.
+
+MISR linearity over GF(2), SPICE round-trips on randomly generated
+circuits, logic-simulator forcing semantics, diagnosis consistency and
+waveform CSV persistence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit import (
+    Bjt,
+    Capacitor,
+    Circuit,
+    Diode,
+    Resistor,
+    VoltageSource,
+    from_spice,
+    to_spice,
+)
+from repro.sim import operating_point
+from repro.sim.waveform import Waveform
+from repro.testgen import (
+    Misr,
+    full_adder,
+    random_vectors,
+)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# MISR linearity
+# ----------------------------------------------------------------------
+bit_streams = st.lists(
+    st.lists(st.booleans(), min_size=4, max_size=4),
+    min_size=1, max_size=30)
+
+
+class TestMisrProperties:
+    @given(bit_streams, bit_streams)
+    @settings(max_examples=50, **COMMON)
+    def test_gf2_linearity(self, stream_a, stream_b):
+        """The MISR is linear over GF(2): sig(a XOR b) = sig(a) XOR
+        sig(b) for equal-length streams from the zero state."""
+        length = min(len(stream_a), len(stream_b))
+        stream_a, stream_b = stream_a[:length], stream_b[:length]
+        xored = [[x != y for x, y in zip(wa, wb)]
+                 for wa, wb in zip(stream_a, stream_b)]
+
+        def signature(stream):
+            misr = Misr(16, seed=0)
+            for word in stream:
+                misr.clock(word)
+            return misr.signature
+
+        assert signature(xored) == signature(stream_a) ^ signature(stream_b)
+
+    @given(bit_streams)
+    @settings(max_examples=30, **COMMON)
+    def test_zero_stream_keeps_zero_state(self, stream):
+        misr = Misr(16, seed=0)
+        for word in stream:
+            misr.clock([False] * len(word))
+        assert misr.signature == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1), bit_streams)
+    @settings(max_examples=30, **COMMON)
+    def test_cycle_count_tracks(self, seed, stream):
+        misr = Misr(16, seed=seed)
+        for word in stream:
+            misr.clock(word)
+        assert misr.cycles == len(stream)
+
+
+# ----------------------------------------------------------------------
+# SPICE round trip on random circuits
+# ----------------------------------------------------------------------
+@st.composite
+def random_circuits(draw):
+    """A random connected R/diode/BJT network driven by one source."""
+    circuit = Circuit("prop")
+    vsrc = draw(st.floats(min_value=0.5, max_value=5.0))
+    circuit.add(VoltageSource("V1", "n0", "0", vsrc))
+    n_nodes = draw(st.integers(min_value=1, max_value=5))
+    for i in range(n_nodes):
+        r = draw(st.floats(min_value=100.0, max_value=100e3))
+        circuit.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", r))
+    circuit.add(Resistor("Rend", f"n{n_nodes}", "0", 1000.0))
+    if draw(st.booleans()):
+        circuit.add(Diode("D1", f"n{n_nodes}", "0", isat=1e-15))
+    if draw(st.booleans()):
+        circuit.add(Bjt("Q1", "n0", f"n{min(1, n_nodes)}", "0",
+                        isat=1e-16))
+    if draw(st.booleans()):
+        circuit.add(Capacitor("C1", f"n{n_nodes}", "0", 1e-12))
+    return circuit
+
+
+class TestSpiceRoundTripProperties:
+    @given(random_circuits())
+    @settings(max_examples=25, **COMMON)
+    def test_roundtrip_preserves_operating_point(self, circuit):
+        parsed = from_spice(to_spice(circuit))
+        op_original = operating_point(circuit)
+        op_parsed = operating_point(parsed)
+        for net in circuit.unknown_nets():
+            assert op_parsed.voltage(net) == pytest.approx(
+                op_original.voltage(net), abs=1e-5)
+
+    @given(random_circuits())
+    @settings(max_examples=25, **COMMON)
+    def test_roundtrip_preserves_component_count(self, circuit):
+        parsed = from_spice(to_spice(circuit))
+        assert len(parsed) == len(circuit)
+
+
+# ----------------------------------------------------------------------
+# Logic forcing semantics
+# ----------------------------------------------------------------------
+class TestForcingProperties:
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()),
+           st.sampled_from(["axb", "ab", "cx", "sum", "cout"]),
+           st.booleans())
+    @settings(max_examples=60, **COMMON)
+    def test_forced_net_reads_forced_value(self, bits, net, value):
+        network = full_adder()
+        vector = dict(zip(("a", "b", "cin"), bits))
+        values = network.evaluate(vector, forces={net: value})
+        assert values[net] is value
+
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    @settings(max_examples=30, **COMMON)
+    def test_empty_forces_is_identity(self, bits):
+        network = full_adder()
+        vector = dict(zip(("a", "b", "cin"), bits))
+        assert network.evaluate(vector, forces={}) == network.evaluate(
+            vector)
+
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()),
+           st.booleans())
+    @settings(max_examples=30, **COMMON)
+    def test_force_propagates_downstream(self, bits, value):
+        """Forcing axb must drive sum as if axb were an input."""
+        network = full_adder()
+        vector = dict(zip(("a", "b", "cin"), bits))
+        values = network.evaluate(vector, forces={"axb": value})
+        assert values["sum"] == (value != bits[2])
+
+
+# ----------------------------------------------------------------------
+# Waveform CSV persistence
+# ----------------------------------------------------------------------
+class TestCsvProperties:
+    @given(st.lists(st.floats(min_value=-10, max_value=10,
+                              allow_nan=False),
+                    min_size=3, max_size=40))
+    @settings(max_examples=30, **COMMON)
+    def test_roundtrip_exact(self, values):
+        import tempfile
+        import os
+
+        times = np.linspace(0, 1e-9, len(values))
+        wave = Waveform(times, np.array(values), name="w")
+
+        from repro.sim.report import load_waveforms_csv
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "w.csv")
+            with open(path, "w", newline="") as handle:
+                import csv as csv_module
+
+                writer = csv_module.writer(handle)
+                writer.writerow(["time_s", "w"])
+                for t, v in zip(wave.times, wave.values):
+                    writer.writerow([repr(float(t)), repr(float(v))])
+            loaded = load_waveforms_csv(path)["w"]
+        assert np.array_equal(loaded.values, wave.values)
+        assert np.array_equal(loaded.times, wave.times)

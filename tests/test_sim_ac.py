@@ -1,0 +1,115 @@
+"""AC small-signal analysis tests against analytic transfer functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Bjt, Capacitor, Circuit, Resistor, VoltageSource
+from repro.cml import NOMINAL, VGND_NET, VCS_NET, buffer_cell
+from repro.circuit.subcircuit import instantiate
+from repro.circuit.devices import THERMAL_VOLTAGE
+from repro.sim import ac_analysis, logspace_frequencies
+
+
+def rc_lowpass(r=1000.0, c=1e-9):
+    circuit = Circuit()
+    circuit.add(VoltageSource("VIN", "in", "0", 0.0))
+    circuit.add(Resistor("R1", "in", "out", r))
+    circuit.add(Capacitor("C1", "out", "0", c))
+    return circuit
+
+
+class TestRcTransfer:
+    def test_corner_magnitude_and_phase(self):
+        r, c = 1000.0, 1e-9
+        fc = 1.0 / (2 * math.pi * r * c)
+        result = ac_analysis(rc_lowpass(r, c), [fc], "VIN")
+        transfer = result.voltage("out")[0]
+        assert abs(transfer) == pytest.approx(1 / math.sqrt(2), rel=1e-6)
+        assert np.angle(transfer, deg=True) == pytest.approx(-45.0,
+                                                             abs=0.01)
+
+    def test_analytic_curve(self):
+        r, c = 1000.0, 1e-9
+        freqs = logspace_frequencies(1e3, 1e9, points_per_decade=5)
+        result = ac_analysis(rc_lowpass(r, c), freqs, "VIN")
+        for f, measured in zip(freqs, result.voltage("out")):
+            expected = 1.0 / (1.0 + 2j * math.pi * f * r * c)
+            assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_bandwidth_3db(self):
+        r, c = 1000.0, 1e-9
+        fc = 1.0 / (2 * math.pi * r * c)
+        freqs = logspace_frequencies(1e3, 1e9, points_per_decade=20)
+        result = ac_analysis(rc_lowpass(r, c), freqs, "VIN")
+        assert result.bandwidth_3db("out") == pytest.approx(fc, rel=0.02)
+
+    def test_input_follows_source(self):
+        result = ac_analysis(rc_lowpass(), [1e6], "VIN")
+        assert abs(result.voltage("in")[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_magnitude_db(self):
+        result = ac_analysis(rc_lowpass(), [1e3], "VIN")
+        assert result.magnitude_db("out")[0] == pytest.approx(0.0, abs=0.1)
+
+    def test_ground_is_zero(self):
+        result = ac_analysis(rc_lowpass(), [1e6], "VIN")
+        assert np.all(result.voltage("0") == 0.0)
+
+    def test_bad_source_rejected(self):
+        circuit = rc_lowpass()
+        with pytest.raises(TypeError):
+            ac_analysis(circuit, [1e6], "R1")
+
+    def test_unknown_net_rejected(self):
+        result = ac_analysis(rc_lowpass(), [1e6], "VIN")
+        with pytest.raises(KeyError):
+            result.voltage("zap")
+
+
+class TestBjtSmallSignal:
+    def test_balanced_buffer_gain(self):
+        """A balanced CML buffer has single-ended gain ~ gm*Rc/2 where gm
+        is the transconductance of one half-current device."""
+        tech = NOMINAL
+        circuit = Circuit()
+        tech.add_supplies(circuit)
+        circuit.add(VoltageSource("VIN", "a", "0", tech.vmid))
+        circuit.add(VoltageSource("VREF", "ab", "0", tech.vmid))
+        instantiate(circuit, buffer_cell(tech), "X1", {
+            "a": "a", "ab": "ab", "op": "op", "opb": "opb",
+            VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+        result = ac_analysis(circuit, [1e6], "VIN")
+        gm = (tech.itail / 2) / THERMAL_VOLTAGE
+        expected = gm * tech.rc / 2
+        assert abs(result.voltage("opb")[0]) == pytest.approx(expected,
+                                                              rel=0.1)
+
+    def test_buffer_bandwidth_in_ghz_range(self):
+        """The calibrated gate's output pole sits at a few GHz, matching
+        the ~50 ps stage delay and the Fig. 5 roll-off onset."""
+        tech = NOMINAL
+        circuit = Circuit()
+        tech.add_supplies(circuit)
+        circuit.add(VoltageSource("VIN", "a", "0", tech.vmid))
+        circuit.add(VoltageSource("VREF", "ab", "0", tech.vmid))
+        instantiate(circuit, buffer_cell(tech), "X1", {
+            "a": "a", "ab": "ab", "op": "op", "opb": "opb",
+            VGND_NET: VGND_NET, VCS_NET: VCS_NET})
+        freqs = logspace_frequencies(1e7, 3e10, points_per_decade=10)
+        result = ac_analysis(circuit, freqs, "VIN")
+        bandwidth = result.bandwidth_3db("opb")
+        assert bandwidth is not None
+        assert 5e8 < bandwidth < 2e10
+
+    def test_emitter_follower_unity_gain(self):
+        tech = NOMINAL
+        circuit = Circuit()
+        circuit.add(VoltageSource("VCC", "vcc", "0", 3.3))
+        circuit.add(VoltageSource("VIN", "b", "0", 2.5))
+        circuit.add(Bjt("Q1", "vcc", "b", "e", **tech.bjt_params()))
+        circuit.add(Resistor("RE", "e", "0", 4800.0))
+        result = ac_analysis(circuit, [1e6], "VIN")
+        gain = abs(result.voltage("e")[0])
+        assert 0.95 < gain < 1.0

@@ -1,0 +1,107 @@
+"""Tests for operating-point reports and waveform CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Bjt, Circuit, Diode, Resistor, VoltageSource
+from repro.cml import NOMINAL, buffer_chain
+from repro.sim import (
+    bjt_region,
+    load_waveforms_csv,
+    op_report,
+    operating_point,
+    run_cycles,
+    save_waveforms_csv,
+    total_supply_power,
+)
+
+TECH = NOMINAL
+
+
+class TestRegionClassification:
+    def test_active(self):
+        assert bjt_region({"vbe": 0.9, "vbc": -1.0}) == "active"
+
+    def test_saturation(self):
+        assert bjt_region({"vbe": 0.9, "vbc": 0.8}) == "saturation"
+
+    def test_cutoff(self):
+        assert bjt_region({"vbe": 0.2, "vbc": -2.0}) == "cutoff"
+
+    def test_reverse(self):
+        assert bjt_region({"vbe": -0.5, "vbc": 0.8}) == "reverse"
+
+
+class TestOpReport:
+    @pytest.fixture(scope="class")
+    def chain_solution(self):
+        chain = buffer_chain(TECH, n_stages=2)
+        return chain, operating_point(chain.circuit)
+
+    def test_report_lists_all_transistors(self, chain_solution):
+        chain, solution = chain_solution
+        report = op_report(chain.circuit, solution)
+        for name in ("X1.Q1", "X1.Q2", "X1.Q3", "X2.Q3"):
+            assert name in report
+
+    def test_current_sources_read_active(self, chain_solution):
+        chain, solution = chain_solution
+        report = op_report(chain.circuit, solution)
+        for line in report.splitlines():
+            if ".Q3" in line:
+                assert "active" in line
+
+    def test_sources_section(self, chain_solution):
+        chain, solution = chain_solution
+        report = op_report(chain.circuit, solution)
+        assert "VGND" in report
+        assert "Sources" in report
+
+    def test_passives_optional(self, chain_solution):
+        chain, solution = chain_solution
+        assert "X1.R1" not in op_report(chain.circuit, solution)
+        assert "X1.R1" in op_report(chain.circuit, solution,
+                                    include_passives=True)
+
+    def test_diode_section(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "a", "0", 2.0))
+        circuit.add(Resistor("R1", "a", "d", 1000))
+        circuit.add(Diode("D1", "d", "0"))
+        solution = operating_point(circuit)
+        assert "D1" in op_report(circuit, solution)
+
+    def test_total_supply_power(self, chain_solution):
+        chain, solution = chain_solution
+        power = total_supply_power(chain.circuit, solution)
+        # Two buffers at ~0.5 mA each from 3.3 V plus bias leakage.
+        assert 2e-3 < power < 6e-3
+
+
+class TestWaveformCsv:
+    def test_roundtrip(self, tmp_path):
+        chain = buffer_chain(TECH, n_stages=2, frequency=100e6)
+        result = run_cycles(chain.circuit, 100e6, cycles=1.0,
+                            points_per_cycle=50)
+        path = tmp_path / "waves.csv"
+        save_waveforms_csv(str(path), result, ["op1", "op2"])
+        loaded = load_waveforms_csv(str(path))
+        assert set(loaded) == {"op1", "op2"}
+        original = result.wave("op1")
+        assert np.allclose(loaded["op1"].values, original.values)
+        assert np.allclose(loaded["op1"].times, original.times)
+
+    def test_loaded_waveform_measurable(self, tmp_path):
+        chain = buffer_chain(TECH, n_stages=1, frequency=100e6)
+        result = run_cycles(chain.circuit, 100e6, cycles=2.0,
+                            points_per_cycle=100)
+        path = tmp_path / "w.csv"
+        save_waveforms_csv(str(path), result, ["op1"])
+        wave = load_waveforms_csv(str(path))["op1"]
+        assert wave.swing() == pytest.approx(TECH.swing, rel=0.1)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_waveforms_csv(str(path))

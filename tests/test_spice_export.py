@@ -1,0 +1,132 @@
+"""Tests for the SPICE netlist exporter."""
+
+import pytest
+
+from repro.circuit import (
+    Bjt,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Diode,
+    MultiEmitterBjt,
+    Prbs,
+    Pulse,
+    Pwl,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+from repro.circuit.spice import to_spice, write_spice
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import build_shared_monitor
+from repro.faults import Pipe, inject
+
+
+def small_circuit() -> Circuit:
+    circuit = Circuit("unit")
+    circuit.add(VoltageSource("V1", "in", "0", 3.3))
+    circuit.add(Resistor("R1", "in", "out", "4k"))
+    circuit.add(Capacitor("C1", "out", "0", "10p", ic=0.5))
+    circuit.add(Diode("D1", "out", "0"))
+    circuit.add(Bjt("Q1", "in", "out", "0"))
+    return circuit
+
+
+class TestDeckStructure:
+    def test_header_and_end(self):
+        deck = to_spice(small_circuit(), title="hello")
+        lines = deck.strip().splitlines()
+        assert lines[0] == "* hello"
+        assert lines[-1] == ".end"
+
+    def test_element_lines(self):
+        deck = to_spice(small_circuit())
+        assert "R_R1 in out 4000" in deck
+        assert "C_C1 out 0 1e-11 IC=0.5" in deck
+        assert "V_V1 in 0 DC 3.3" in deck
+        assert "D_D1 out 0 DMOD0" in deck
+        assert "Q_Q1 in out 0 QMOD0" in deck
+
+    def test_model_cards_emitted(self):
+        deck = to_spice(small_circuit())
+        assert ".model QMOD0 NPN(" in deck
+        assert ".model DMOD0 D(" in deck
+
+    def test_model_dedup(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "a", "0", 1.0))
+        circuit.add(Resistor("RL", "a", "c", 100))
+        circuit.add(Bjt("Q1", "c", "a", "0", isat=1e-16))
+        circuit.add(Bjt("Q2", "c", "a", "0", isat=1e-16))
+        circuit.add(Bjt("Q3", "c", "a", "0", isat=2e-16))
+        deck = to_spice(circuit)
+        assert deck.count(".model QMOD") == 2
+
+    def test_hierarchical_names_sanitized(self):
+        chain = buffer_chain(NOMINAL, n_stages=2)
+        deck = to_spice(chain.circuit)
+        assert "Q_X1_Q3" in deck
+        assert "." not in deck.split("Q_X1_Q3")[1].split()[0]
+
+    def test_multi_emitter_expands_to_parallel(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "b", "0", 1.0))
+        circuit.add(Resistor("RC", "b", "c", 100))
+        circuit.add(Resistor("RE1", "e1", "0", 100))
+        circuit.add(Resistor("RE2", "e2", "0", 100))
+        circuit.add(MultiEmitterBjt("Q45", "c", "b", ["e1", "e2"]))
+        deck = to_spice(circuit)
+        assert "Q_Q45_0 c b e1" in deck
+        assert "Q_Q45_1 c b e2" in deck
+
+
+class TestSourceSpecs:
+    def _deck_with(self, waveform) -> str:
+        circuit = Circuit()
+        circuit.add(VoltageSource("VS", "a", "0", waveform))
+        circuit.add(Resistor("RL", "a", "0", 100))
+        return to_spice(circuit)
+
+    def test_pulse(self):
+        deck = self._deck_with(Pulse(0, 1, delay=1e-9, rise=1e-10,
+                                     fall=1e-10, width=4e-9, period=1e-8))
+        assert "PULSE(0 1 1e-09 1e-10 1e-10 4e-09 1e-08)" in deck
+
+    def test_sine(self):
+        deck = self._deck_with(Sine(1.0, 0.5, 1e6))
+        assert "SIN(1 0.5 1e+06" in deck
+
+    def test_pwl(self):
+        deck = self._deck_with(Pwl([(0, 0), (1e-9, 1.0)]))
+        assert "PWL(0 0 1e-09 1)" in deck
+
+    def test_prbs_expands_to_pwl(self):
+        deck = self._deck_with(Prbs(0.0, 1.0, 1e-9, order=7))
+        assert "PWL(" in deck
+
+    def test_current_source(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("I1", "a", "0", 1e-3))
+        circuit.add(Resistor("RL", "a", "0", 100))
+        deck = to_spice(circuit)
+        assert "I_I1 a 0 DC 0.001" in deck
+
+
+class TestEndToEnd:
+    def test_full_instrumented_chain_exports(self):
+        """The flagship circuit — faulty instrumented chain — exports
+        without unsupported-component warnings."""
+        chain = buffer_chain(NOMINAL, n_stages=8)
+        build_shared_monitor(chain.circuit, chain.output_nets)
+        faulty = inject(chain.circuit, Pipe("DUT.Q3", 4e3))
+        deck = to_spice(faulty)
+        assert "unsupported" not in deck
+        assert deck.count("\nQ_") > 30
+        assert "R_FAULT_PIPE_DUT_Q3" in deck
+
+    def test_write_spice_roundtrip(self, tmp_path):
+        path = tmp_path / "deck.cir"
+        write_spice(small_circuit(), str(path), title="file test")
+        text = path.read_text()
+        assert text.startswith("* file test")
+        assert text.rstrip().endswith(".end")

@@ -1,0 +1,155 @@
+"""Tests for the SPICE deck parser, including write→read round trips."""
+
+import math
+
+import pytest
+
+from repro.circuit import Bjt, Capacitor, Circuit, Diode, Pulse, Resistor, VoltageSource
+from repro.circuit.spice import to_spice
+from repro.circuit.spice_reader import SpiceParseError, from_spice, read_spice
+from repro.cml import NOMINAL, buffer_chain
+from repro.faults import Pipe, inject
+from repro.sim import operating_point, transient
+
+
+class TestBasicParsing:
+    def test_title_line(self):
+        circuit = from_spice("my amplifier\nR1 a 0 1k\n.end\n")
+        assert circuit.title == "my amplifier"
+        assert "R1" in circuit
+
+    def test_elements(self):
+        deck = """test
+R1 in out 4k
+C1 out 0 10p IC=0.5
+V1 in 0 DC 3.3
+I1 out 0 1m
+.end
+"""
+        circuit = from_spice(deck)
+        assert circuit["R1"].resistance == 4000.0
+        assert circuit["C1"].capacitance == pytest.approx(10e-12)
+        assert circuit["C1"].ic == 0.5
+        assert circuit["V1"].waveform.dc() == 3.3
+        assert circuit["I1"].waveform.dc() == pytest.approx(1e-3)
+
+    def test_comments_and_continuations(self):
+        deck = """* full comment deck
+* another comment
+R1 a b 1k
++
+V1 a 0
++ DC 5
+.end
+"""
+        circuit = from_spice(deck)
+        assert circuit["V1"].waveform.dc() == 5.0
+
+    def test_models_resolved_regardless_of_order(self):
+        deck = """t
+Q1 c b 0 mynpn
+D1 a c mydio
+.model mynpn NPN(IS=1e-16 BF=150)
+.model mydio D(IS=2e-15 N=1.5)
+R1 a 0 1k
+R2 c 0 1k
+V1 b 0 1
+.end
+"""
+        circuit = from_spice(deck)
+        assert circuit["Q1"].isat == pytest.approx(1e-16)
+        assert circuit["Q1"].beta_f == 150
+        assert circuit["D1"].isat == pytest.approx(2e-15)
+        assert circuit["D1"].nvt == pytest.approx(1.5 * 0.025852)
+
+    def test_pulse_source(self):
+        deck = "t\nV1 a 0 PULSE(0 1 1n 0.1n 0.1n 4n 10n)\nR1 a 0 1k\n.end\n"
+        waveform = from_spice(deck)["V1"].waveform
+        assert isinstance(waveform, Pulse)
+        assert waveform.v2 == 1.0
+        assert waveform.period == pytest.approx(1e-8)
+
+    def test_sin_source(self):
+        deck = "t\nV1 a 0 SIN(1 0.5 1e6 0 0 90)\nR1 a 0 1k\n.end\n"
+        waveform = from_spice(deck)["V1"].waveform
+        assert waveform.value(0.0) == pytest.approx(1.5)  # 90 deg phase
+
+    def test_pwl_source(self):
+        deck = "t\nV1 a 0 PWL(0 0 1e-9 2.0)\nR1 a 0 1k\n.end\n"
+        waveform = from_spice(deck)["V1"].waveform
+        assert waveform.value(0.5e-9) == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_unknown_element(self):
+        with pytest.raises(SpiceParseError, match="unsupported element"):
+            from_spice("t\nL1 a 0 1u\n.end\n")
+
+    def test_unknown_model(self):
+        with pytest.raises(SpiceParseError, match="unknown NPN model"):
+            from_spice("t\nQ1 c b 0 ghost\n.end\n")
+
+    def test_short_card(self):
+        with pytest.raises(SpiceParseError, match="R needs"):
+            from_spice("t\nR1 a\n.end\n")
+
+    def test_unsupported_dotcard(self):
+        with pytest.raises(SpiceParseError, match="dot-card"):
+            from_spice("t\n.tran 1n 10n\n.end\n")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(SpiceParseError, match="continuation"):
+            from_spice("+ R1 a 0 1\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(SpiceParseError) as excinfo:
+            from_spice("t\nR1 a 0 1k\nL1 a 0 1u\n.end\n")
+        assert excinfo.value.line_number == 3
+
+
+class TestRoundTrip:
+    def test_simple_circuit_op_matches(self):
+        original = Circuit("rt")
+        original.add(VoltageSource("V1", "in", "0", 5.0))
+        original.add(Resistor("R1", "in", "d", 1000))
+        original.add(Diode("D1", "d", "0", isat=1e-15))
+        original.add(Bjt("Q1", "in", "d", "e"))
+        original.add(Resistor("RE", "e", "0", 2000))
+
+        parsed = from_spice(to_spice(original))
+        op_a = operating_point(original)
+        op_b = operating_point(parsed)
+        for net in ("in", "d", "e"):
+            # Exported names carry element-kind prefixes; nets match 1:1.
+            assert op_b.voltage(net) == pytest.approx(op_a.voltage(net),
+                                                      abs=1e-6)
+
+    def test_cml_chain_roundtrip_dc(self):
+        chain = buffer_chain(NOMINAL, n_stages=4)
+        faulty = inject(chain.circuit, Pipe("X1.Q3", 4e3))
+        parsed = from_spice(to_spice(faulty))
+        op_a = operating_point(faulty)
+        op_b = operating_point(parsed)
+        for net in ("op1", "opb1", "op4", "opb4"):
+            assert op_b.voltage(net) == pytest.approx(op_a.voltage(net),
+                                                      abs=1e-4)
+
+    def test_roundtrip_transient(self):
+        original = Circuit("pulse-rt")
+        original.add(VoltageSource("V1", "in", "0",
+                                   Pulse(0, 1, rise=1e-10, fall=1e-10,
+                                         width=4e-9, period=1e-8)))
+        original.add(Resistor("R1", "in", "out", 1000))
+        original.add(Capacitor("C1", "out", "0", 1e-12))
+        parsed = from_spice(to_spice(original))
+        result_a = transient(original, 5e-9, 1e-11)
+        result_b = transient(parsed, 5e-9, 1e-11)
+        for t in (1e-9, 2.5e-9, 4.5e-9):
+            assert result_b.wave("out").value_at(t) == pytest.approx(
+                result_a.wave("out").value_at(t), abs=1e-4)
+
+    def test_read_spice_file(self, tmp_path):
+        path = tmp_path / "d.cir"
+        path.write_text("t\nR1 a 0 1k\nV1 a 0 DC 1\n.end\n")
+        circuit = read_spice(str(path))
+        assert operating_point(circuit).voltage("a") == pytest.approx(1.0)

@@ -1,0 +1,95 @@
+"""Temperature-behaviour tests: device physics and CML corner operation."""
+
+import pytest
+
+from repro.circuit import Bjt, Circuit, Resistor, VoltageSource
+from repro.circuit.devices import (
+    TNOM_C,
+    isat_temperature_factor,
+    thermal_voltage,
+)
+from repro.cml import CmlTechnology, buffer_chain
+from repro.sim import operating_point, run_cycles
+
+
+def vbe_at(temperature_c: float, current: float = 0.5e-3) -> float:
+    """VBE of a diode-connected transistor forced with ``current``."""
+    from repro.circuit import CurrentSource
+
+    circuit = Circuit()
+    circuit.add(CurrentSource("IB", "0", "b", current))
+    circuit.add(Bjt("Q1", "b", "b", "0", isat=4e-19,
+                    temperature_c=temperature_c))
+    op = operating_point(circuit)
+    return op.voltage("b")
+
+
+class TestDevicePhysics:
+    def test_thermal_voltage_scaling(self):
+        assert thermal_voltage(TNOM_C) == pytest.approx(0.025852)
+        assert thermal_voltage(126.85) == pytest.approx(
+            0.025852 * 400.0 / 300.0)
+
+    def test_isat_factor_is_one_at_nominal(self):
+        assert isat_temperature_factor(TNOM_C) == pytest.approx(1.0)
+
+    def test_isat_grows_steeply_with_temperature(self):
+        assert isat_temperature_factor(TNOM_C + 50) > 100
+        assert isat_temperature_factor(TNOM_C - 50) < 1e-2
+
+    def test_vbe_falls_with_temperature(self):
+        """The bipolar thermometer: dVBE/dT ~ (VBE - EG - 3VT)/T, about
+        -1 mV/°C at this technology's high 900 mV bias point (the
+        textbook -2 mV/°C applies to ~600 mV junctions)."""
+        low = vbe_at(0.0)
+        high = vbe_at(100.0)
+        slope = (high - low) / 100.0
+        assert -2.0e-3 < slope < -0.7e-3
+
+    def test_vbe_nominal_calibration_unchanged(self):
+        assert vbe_at(TNOM_C) == pytest.approx(0.9, abs=0.002)
+
+
+class TestCmlAcrossCorners:
+    @pytest.mark.parametrize("temperature", [-40.0, 26.85, 125.0])
+    def test_chain_functional_at_corner(self, temperature):
+        """With the tracking bias generator the chain keeps its nominal
+        swing from -40 to 125 °C."""
+        tech = CmlTechnology(temperature_c=temperature)
+        chain = buffer_chain(tech, n_stages=4, frequency=100e6)
+        result = run_cycles(chain.circuit, 100e6, cycles=2.5,
+                            points_per_cycle=300)
+        swing = result.wave("op3").window(10e-9, 25e-9).swing()
+        assert swing == pytest.approx(tech.swing, rel=0.1)
+
+    def test_tail_current_tracks(self):
+        for temperature in (-40.0, 125.0):
+            tech = CmlTechnology(temperature_c=temperature)
+            chain = buffer_chain(tech, n_stages=1)
+            op = operating_point(chain.circuit)
+            info = op.operating_info("X1.Q3")
+            assert info["ic"] == pytest.approx(tech.itail, rel=0.05)
+
+    def test_vcs_decreases_with_temperature(self):
+        hot = CmlTechnology(temperature_c=125.0)
+        cold = CmlTechnology(temperature_c=-40.0)
+        assert hot.vcs < cold.vcs
+
+    def test_detector_corner_operation(self):
+        """The variant-3 monitor still separates good from faulty at the
+        hot corner (detector thresholds shift with VT but the verdict
+        survives)."""
+        from repro.dft import build_shared_monitor
+        from repro.faults import Pipe, inject
+
+        tech = CmlTechnology(temperature_c=125.0)
+        chain = buffer_chain(tech, n_stages=4, frequency=100e6)
+        monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                       tech=tech)
+        op_clean = operating_point(chain.circuit)
+        assert (op_clean.voltage(monitor.nets.flag)
+                > op_clean.voltage(monitor.nets.flagb))
+        faulty = inject(chain.circuit, Pipe("X2.Q3", 4e3))
+        op_faulty = operating_point(faulty)
+        assert (op_faulty.voltage(monitor.nets.flag)
+                < op_faulty.voltage(monitor.nets.flagb))

@@ -1,0 +1,199 @@
+"""Tests of patterns, toggle coverage, initialization and sensitization."""
+
+import pytest
+
+from repro.testgen import (
+    Lfsr,
+    ToggleCoverage,
+    compact_plan,
+    convergence_length,
+    converges_from_x,
+    coverage_growth,
+    exhaustive_vectors,
+    find_toggle_pair,
+    full_adder,
+    initialization_sequence,
+    johnson_counter,
+    measure_toggle_coverage,
+    mux_select_tree,
+    parity_tree,
+    random_vectors,
+    sensitization_plan,
+    sequential_decider,
+    shift_register,
+    LogicNetwork,
+)
+
+
+class TestLfsr:
+    def test_maximal_period(self):
+        lfsr = Lfsr(order=7, seed=1)
+        states = set()
+        for _ in range(lfsr.period):
+            states.add(lfsr.state)
+            lfsr.next_bit()
+        assert len(states) == 127
+        assert lfsr.state == 1  # back to the seed
+
+    def test_deterministic(self):
+        assert Lfsr(7, seed=5).bits(32) == Lfsr(7, seed=5).bits(32)
+
+    def test_different_seeds_differ(self):
+        assert Lfsr(7, seed=5).bits(32) != Lfsr(7, seed=9).bits(32)
+
+    def test_balanced_bits(self):
+        bits = Lfsr(15, seed=1).bits(4096)
+        ones = sum(bits)
+        assert 0.45 < ones / len(bits) < 0.55
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            Lfsr(order=6)
+
+    def test_bad_seed(self):
+        with pytest.raises(ValueError):
+            Lfsr(order=7, seed=0)
+
+    def test_words_width(self):
+        words = Lfsr(16, seed=3).words(10, width=4)
+        assert len(words) == 10
+        assert all(0 <= w < 16 for w in words)
+
+
+class TestRandomVectors:
+    def test_shape_and_keys(self):
+        vectors = random_vectors(["a", "b", "c"], 20, seed=2)
+        assert len(vectors) == 20
+        assert all(set(v) == {"a", "b", "c"} for v in vectors)
+
+    def test_exhaustive_counts(self):
+        assert len(list(exhaustive_vectors(["a", "b", "c"]))) == 8
+
+    def test_exhaustive_unique(self):
+        vectors = [tuple(sorted(v.items()))
+                   for v in exhaustive_vectors(["a", "b"])]
+        assert len(set(vectors)) == 4
+
+
+class TestToggleCoverage:
+    def test_full_coverage_on_full_adder_exhaustive(self):
+        net = full_adder()
+        coverage = measure_toggle_coverage(
+            net, exhaustive_vectors(net.primary_inputs))
+        assert coverage.coverage == 1.0
+        assert coverage.untoggled() == []
+
+    def test_random_patterns_reach_full_coverage(self):
+        net = parity_tree(8)
+        vectors = random_vectors(net.primary_inputs, 64, seed=4)
+        coverage = measure_toggle_coverage(net, vectors)
+        assert coverage.coverage == 1.0
+
+    def test_constant_input_leaves_holes(self):
+        net = full_adder()
+        vectors = [{"a": True, "b": True, "cin": True}] * 10
+        coverage = measure_toggle_coverage(net, vectors)
+        assert coverage.coverage < 1.0
+        assert coverage.untoggled()
+
+    def test_growth_curve_monotone(self):
+        net = parity_tree(4)
+        vectors = random_vectors(net.primary_inputs, 32, seed=6)
+        curve = coverage_growth(net, vectors)
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == 1.0
+
+    def test_sequential_coverage_with_random_patterns(self):
+        """The paper's sequential recipe: random patterns give good toggle
+        coverage once the circuit is initialized."""
+        net = shift_register(4)
+        net.reset(False)
+        vectors = random_vectors(["sin"], 64, seed=8)
+        coverage = measure_toggle_coverage(net, vectors)
+        assert coverage.coverage == 1.0
+
+    def test_restricted_watch_list(self):
+        net = full_adder()
+        coverage = measure_toggle_coverage(
+            net, exhaustive_vectors(net.primary_inputs), signals=["sum"])
+        assert coverage.signals == ["sum"]
+        assert coverage.coverage == 1.0
+
+    def test_empty_signals_coverage_is_one(self):
+        assert ToggleCoverage(signals=[]).coverage == 1.0
+
+
+class TestInitialization:
+    def test_shift_register_converges_from_x(self):
+        net = shift_register(4)
+        vectors = random_vectors(["sin"], 16, seed=5)
+        result = converges_from_x(net, vectors)
+        assert result.converged
+        assert result.cycles == 4  # needs exactly its depth
+
+    def test_replica_convergence(self):
+        net = shift_register(4)
+        vectors = random_vectors(["sin"], 32, seed=5)
+        result = convergence_length(net, vectors, replicas=4)
+        assert result.converged
+        assert result.cycles <= 4
+
+    def test_decider_converges(self):
+        net = sequential_decider()
+        length = initialization_sequence(net, max_vectors=64)
+        assert length is not None
+
+    def test_johnson_counter_replicas_disagree_without_input(self):
+        """A free-running ring never forgets its phase: convergence needs
+        the randomizing input path (en toggling)."""
+        net = johnson_counter(4)
+        constant = [{"en": True}] * 40
+        result = convergence_length(net, constant, replicas=4)
+        assert not result.converged
+
+    def test_no_flops_trivially_converged(self):
+        net = full_adder()
+        result = convergence_length(net, [{"a": True, "b": True,
+                                           "cin": True}])
+        assert result.converged
+        assert result.cycles == 0
+
+
+class TestSensitization:
+    def test_full_adder_all_gates_testable(self):
+        net = full_adder()
+        pairs, untestable = sensitization_plan(net)
+        assert untestable == []
+        assert len(pairs) == len(net.gates)
+
+    def test_pairs_actually_toggle(self):
+        net = full_adder()
+        pairs, _ = sensitization_plan(net)
+        for pair in pairs:
+            low = net.evaluate(pair.vector_low)[pair.target]
+            high = net.evaluate(pair.vector_high)[pair.target]
+            assert low is False and high is True
+
+    def test_untestable_gate_reported(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("INV", "inverter", ["a"], "na")
+        net.add_gate("DEAD", "and2", ["a", "na"], "x")  # a AND !a == 0
+        pair = find_toggle_pair(net, "DEAD")
+        assert pair is None
+        _, untestable = sensitization_plan(net)
+        assert untestable == ["DEAD"]
+
+    def test_sequential_gate_rejected(self):
+        net = shift_register(2)
+        with pytest.raises(ValueError, match="sequential"):
+            find_toggle_pair(net, "F0")
+
+    def test_compact_plan_dedupes(self):
+        net = mux_select_tree()
+        pairs, _ = sensitization_plan(net)
+        plan = compact_plan(pairs)
+        assert len(plan) <= 2 * len(pairs)
+        # Replaying the compacted plan still toggles every gate output.
+        coverage = measure_toggle_coverage(net, plan)
+        assert coverage.coverage == 1.0

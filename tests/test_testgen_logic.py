@@ -1,0 +1,184 @@
+"""Tests of the gate-level logic simulator and benchmark circuits."""
+
+import itertools
+
+import pytest
+
+from repro.testgen import (
+    LogicNetwork,
+    full_adder,
+    johnson_counter,
+    mux_select_tree,
+    parity_tree,
+    ripple_adder,
+    sequential_decider,
+    shift_register,
+)
+
+
+class TestNetworkConstruction:
+    def test_duplicate_gate_rejected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G", "buffer", ["a"], "x")
+        with pytest.raises(ValueError, match="duplicate gate"):
+            net.add_gate("G", "buffer", ["a"], "y")
+
+    def test_double_driven_net_rejected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G1", "buffer", ["a"], "x")
+        with pytest.raises(ValueError, match="already driven"):
+            net.add_gate("G2", "inverter", ["a"], "x")
+
+    def test_bad_cell_type_rejected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        with pytest.raises(ValueError, match="unsupported"):
+            net.add_gate("G", "nand17", ["a"], "x")
+
+    def test_arity_checked(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        with pytest.raises(ValueError, match="takes 2 inputs"):
+            net.add_gate("G", "and2", ["a"], "x")
+
+    def test_combinational_cycle_detected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G1", "and2", ["a", "y"], "x")
+        net.add_gate("G2", "or2", ["x", "a"], "y")
+        with pytest.raises(ValueError, match="cycle"):
+            net.combinational_order()
+
+    def test_feedback_through_dff_allowed(self):
+        net = shift_register(2)
+        assert net.validate() == []
+
+    def test_undriven_input_warned(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G", "and2", ["a", "ghost"], "x")
+        assert any("ghost" in w for w in net.validate())
+
+
+class TestCombinationalSimulation:
+    @pytest.mark.parametrize("a,b,cin",
+                             list(itertools.product([False, True], repeat=3)))
+    def test_full_adder_truth_table(self, a, b, cin):
+        net = full_adder()
+        values = net.evaluate({"a": a, "b": b, "cin": cin})
+        total = int(a) + int(b) + int(cin)
+        assert values["sum"] == bool(total & 1)
+        assert values["cout"] == bool(total >> 1)
+
+    def test_ripple_adder_adds(self):
+        net = ripple_adder(4)
+        for a, b, cin in ((3, 5, 0), (15, 1, 0), (7, 8, 1), (0, 0, 1)):
+            vector = {"cin": bool(cin)}
+            for bit in range(4):
+                vector[f"a{bit}"] = bool((a >> bit) & 1)
+                vector[f"b{bit}"] = bool((b >> bit) & 1)
+            values = net.evaluate(vector)
+            total = a + b + cin
+            result = sum(int(values[f"sum{bit}"]) << bit for bit in range(4))
+            result += int(values["carry3"]) << 4
+            assert result == total
+
+    def test_parity_tree(self):
+        net = parity_tree(8)
+        for word in (0, 0b10110101, 0b11111111, 0b00000001):
+            vector = {f"d{i}": bool((word >> i) & 1) for i in range(8)}
+            values = net.evaluate(vector)
+            assert values[net.primary_outputs[0]] == bool(
+                bin(word).count("1") & 1)
+
+    def test_mux4(self):
+        net = mux_select_tree()
+        data = {"d0": True, "d1": False, "d2": True, "d3": False}
+        for select in range(4):
+            vector = dict(data)
+            vector["s0"] = bool(select & 1)
+            vector["s1"] = bool(select >> 1)
+            values = net.evaluate(vector)
+            assert values["out"] == data[f"d{select}"]
+
+    def test_unknown_input_rejected(self):
+        net = full_adder()
+        with pytest.raises(KeyError):
+            net.evaluate({"a": True, "b": True, "zap": False})
+
+
+class TestXPropagation:
+    def test_and_false_dominates_x(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("G", "and2", ["a", "b"], "x")
+        values = net.evaluate({"a": False, "b": None})
+        assert values["x"] is False
+
+    def test_or_true_dominates_x(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("G", "or2", ["a", "b"], "x")
+        values = net.evaluate({"a": True, "b": None})
+        assert values["x"] is True
+
+    def test_xor_with_x_is_x(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("G", "xor2", ["a", "b"], "x")
+        values = net.evaluate({"a": True, "b": None})
+        assert values["x"] is None
+
+    def test_mux_with_x_select_but_equal_data(self):
+        net = LogicNetwork()
+        for name in ("a", "b", "s"):
+            net.add_input(name)
+        net.add_gate("G", "mux2", ["a", "b", "s"], "x")
+        values = net.evaluate({"a": True, "b": True, "s": None})
+        assert values["x"] is True
+
+    def test_missing_inputs_default_to_x(self):
+        net = full_adder()
+        values = net.evaluate({"a": True})
+        assert values["sum"] is None
+
+
+class TestSequentialSimulation:
+    def test_shift_register_delays(self):
+        net = shift_register(3)
+        net.reset(False)
+        stream = [True, False, True, True, False, False]
+        outputs = [net.step({"sin": bit})["q2"] for bit in stream]
+        # Output is the input delayed by 3 cycles (initially False).
+        assert outputs == [False, False, False, True, False, True]
+
+    def test_reset_to_x(self):
+        net = shift_register(2)
+        net.reset(None)
+        values = net.step({"sin": True})
+        assert values["q1"] is None
+
+    def test_set_state_validates(self):
+        net = sequential_decider()
+        with pytest.raises(ValueError, match="not sequential"):
+            net.set_state({"A1": True})
+
+    def test_johnson_counter_cycles(self):
+        net = johnson_counter(3)
+        net.reset(False)
+        seen = set()
+        for _ in range(12):
+            values = net.step({"en": True})
+            seen.add(tuple(values[f"q{i}"] for i in range(3)))
+        # A 3-stage Johnson counter visits 6 distinct states.
+        assert len(seen) == 6
+
+    def test_state_roundtrip(self):
+        net = sequential_decider()
+        net.set_state({"F0": True, "F1": False})
+        assert net.state() == {"F0": True, "F1": False}

@@ -1,0 +1,127 @@
+"""End-to-end tests of logic → CML transistor-level synthesis.
+
+These are the integration tests of the whole stack: a gate-level design
+is lowered onto the CML library, driven with differential sources, solved
+with the analog engine and compared against the logic simulator.
+"""
+
+import pytest
+
+from repro.circuit import Circuit, VoltageSource
+from repro.cml import NOMINAL
+from repro.dft import instrument_pairs
+from repro.faults import Pipe, inject
+from repro.sim import operating_point
+from repro.testgen import full_adder, mux_select_tree, synthesize
+
+TECH = NOMINAL
+
+
+def _drive(design, vector):
+    """Attach differential DC sources for one input vector (fresh copy)."""
+    circuit = design.circuit.copy()
+    for signal, value in vector.items():
+        net_p, net_n = design.pair(signal)
+        vp = TECH.vhigh if value else TECH.vlow
+        vn = TECH.vlow if value else TECH.vhigh
+        circuit.add(VoltageSource(f"V_{signal}", net_p, "0", vp))
+        circuit.add(VoltageSource(f"V_{signal}b", net_n, "0", vn))
+    return circuit
+
+
+def _logic_value(op, pair):
+    return op.voltage(pair[0]) > op.voltage(pair[1])
+
+
+class TestSynthesis:
+    def test_full_adder_structure(self):
+        design = synthesize(full_adder(), TECH)
+        assert set(design.instances) == {"X1", "X2", "A1", "A2", "O1"}
+        # Shared level shifters: b, cin and cx are second-level inputs.
+        shifter_names = [c.name for c in design.circuit
+                         if c.name.startswith("LS_")]
+        assert len(shifter_names) == 3 * 2 * 2  # 3 signals x 2 rails x 2 parts
+
+    def test_transistor_names_accessor(self):
+        design = synthesize(full_adder(), TECH)
+        names = design.transistor_names("X1")
+        assert all(name.startswith("X1.") for name in names)
+        assert len(names) == 7  # xor2: 4 top + 2 select + tail
+
+    @pytest.mark.parametrize("vector", [
+        {"a": False, "b": False, "cin": False},
+        {"a": True, "b": False, "cin": False},
+        {"a": True, "b": True, "cin": False},
+        {"a": True, "b": True, "cin": True},
+        {"a": False, "b": True, "cin": True},
+    ])
+    def test_full_adder_analog_matches_logic(self, vector):
+        network = full_adder()
+        design = synthesize(network, TECH)
+        circuit = _drive(design, vector)
+        op = operating_point(circuit)
+        expected = network.evaluate(vector)
+        for signal in ("sum", "cout", "axb", "ab", "cx"):
+            measured = _logic_value(op, design.pair(signal))
+            assert measured == expected[signal], f"{signal} under {vector}"
+
+    def test_mux_tree_analog_matches_logic(self):
+        network = mux_select_tree()
+        design = synthesize(network, TECH)
+        vector = {"d0": False, "d1": True, "d2": False, "d3": True,
+                  "s0": True, "s1": False}
+        op = operating_point(_drive(design, vector))
+        expected = network.evaluate(vector)
+        assert _logic_value(op, design.pair("out")) == expected["out"]
+
+    def test_gate_output_pairs_for_detectors(self):
+        design = synthesize(full_adder(), TECH)
+        pairs = design.gate_output_pairs()
+        assert len(pairs) == 5
+        assert ("sum", "sum_b") in pairs
+
+
+class TestInstrumentedLogic:
+    """The full paper flow on a real logic block: synthesize, insert
+    detectors, inject a pipe into one gate, check the flag."""
+
+    @pytest.fixture(scope="class")
+    def monitored_design(self):
+        network = full_adder()
+        design = synthesize(network, TECH)
+        monitors = instrument_pairs(design.circuit,
+                                    design.gate_output_pairs(), TECH)
+        return design, monitors
+
+    def _solve(self, design, vector, defect=None):
+        circuit = _drive(design, vector)
+        if defect is not None:
+            circuit = inject(circuit, defect)
+        return operating_point(circuit)
+
+    def test_fault_free_flag_passes(self, monitored_design):
+        design, monitors = monitored_design
+        vector = {"a": True, "b": False, "cin": True}
+        op = self._solve(design, vector)
+        flag, flagb = monitors.flag_nets()[0]
+        assert op.voltage(flag) > op.voltage(flagb)
+
+    def test_pipe_in_xor_gate_flags_when_asserted(self, monitored_design):
+        design, monitors = monitored_design
+        # Pipe on the current source of X2 (the sum XOR).
+        defect = Pipe("X2.Q3", 4e3)
+        vector = {"a": True, "b": False, "cin": True}
+        op = self._solve(design, vector, defect)
+        flag, flagb = monitors.flag_nets()[0]
+        assert op.voltage(flag) < op.voltage(flagb)
+
+    def test_logic_still_correct_with_pipe(self, monitored_design):
+        """The pipe is a parametric fault: logic values stay correct, so
+        only the detector sees it — the paper's motivating scenario."""
+        design, _ = monitored_design
+        network = full_adder()
+        vector = {"a": True, "b": True, "cin": False}
+        op = self._solve(design, vector, Pipe("X2.Q3", 4e3))
+        expected = network.evaluate(vector)
+        for signal in ("sum", "cout"):
+            assert _logic_value(op, design.pair(signal)) == expected[signal]

@@ -1,0 +1,69 @@
+"""Tests for engineering-notation parsing and formatting."""
+
+import math
+
+import pytest
+
+from repro.units import format_value, parse_value
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_value(3.3) == 3.3
+
+    def test_int_passthrough(self):
+        assert parse_value(7) == 7.0
+
+    def test_kilo(self):
+        assert parse_value("4k") == 4000.0
+
+    def test_pico_with_unit(self):
+        assert parse_value("10pF") == pytest.approx(10e-12)
+
+    def test_femto(self):
+        assert parse_value("1f") == pytest.approx(1e-15)
+
+    def test_meg_is_not_milli(self):
+        assert parse_value("1meg") == pytest.approx(1e6)
+        assert parse_value("1m") == pytest.approx(1e-3)
+
+    def test_negative(self):
+        assert parse_value("-250m") == pytest.approx(-0.25)
+
+    def test_scientific(self):
+        assert parse_value("1e-9") == pytest.approx(1e-9)
+
+    def test_scientific_with_suffix(self):
+        assert parse_value("1.5e1k") == pytest.approx(15000.0)
+
+    def test_unit_only_ignored(self):
+        assert parse_value("100MegOhm".lower()) == pytest.approx(1e8)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("four kilo")
+
+
+class TestFormatValue:
+    def test_kilo_ohm(self):
+        assert format_value(4e3, "Ohm") == "4 kOhm"
+
+    def test_pico_farad(self):
+        assert format_value(10e-12, "F") == "10 pF"
+
+    def test_zero(self):
+        assert format_value(0.0, "V") == "0 V"
+
+    def test_unitless(self):
+        assert format_value(2.5e-3) == "2.5 m"
+
+    def test_roundtrip(self):
+        for value in (4e3, 53e-12, 0.25, 1e8, 3.3):
+            text = format_value(value, "X")
+            assert parse_value(text.replace(" ", "")) == pytest.approx(value, rel=1e-3)
+
+    def test_nan_passthrough(self):
+        assert "nan" in format_value(math.nan, "V")

@@ -1,0 +1,202 @@
+"""Unit tests for the waveform measurement toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.sim.waveform import (
+    Waveform,
+    delay_between,
+    differential_crossings,
+    hysteresis_thresholds,
+)
+
+
+def square_wave(period=1.0, cycles=4, low=0.0, high=1.0, samples_per=100):
+    t = np.linspace(0, cycles * period, cycles * samples_per,
+                    endpoint=False)
+    v = np.where((t % period) < period / 2, low, high)
+    return Waveform(t, v, name="sq")
+
+
+def ramp(t0=0.0, t1=1.0, v0=0.0, v1=1.0, n=101):
+    t = np.linspace(t0, t1, n)
+    return Waveform(t, v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+
+
+class TestBasics:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 1], [0, 1, 2])
+        with pytest.raises(ValueError):
+            Waveform([0], [0])
+
+    def test_value_at_interpolates(self):
+        wave = ramp()
+        assert wave.value_at(0.25) == pytest.approx(0.25)
+
+    def test_value_at_clamps(self):
+        wave = ramp()
+        assert wave.value_at(-5.0) == 0.0
+        assert wave.value_at(5.0) == 1.0
+
+    def test_window_bounds(self):
+        wave = ramp()
+        sub = wave.window(0.2, 0.8)
+        assert sub.t_start == pytest.approx(0.2)
+        assert sub.t_stop == pytest.approx(0.8)
+        assert sub.value_at(0.5) == pytest.approx(0.5)
+
+    def test_window_invalid(self):
+        with pytest.raises(ValueError):
+            ramp().window(0.8, 0.2)
+
+    def test_arithmetic(self):
+        a = ramp()
+        b = ramp(v0=1.0, v1=2.0)
+        assert np.allclose((b - a).values, 1.0)
+        assert np.allclose((a + 1.0).values, a.values + 1.0)
+        assert np.allclose((-a).values, -a.values)
+        assert np.allclose((a * 2).values, 2 * a.values)
+
+    def test_arithmetic_time_base_mismatch(self):
+        a = ramp(n=101)
+        b = ramp(n=51)
+        with pytest.raises(ValueError, match="time base"):
+            a - b
+
+
+class TestCrossings:
+    def test_rising_crossing_time(self):
+        wave = ramp()
+        crossings = wave.crossings(0.5, "rise")
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(0.5)
+
+    def test_direction_filtering(self):
+        # 1.25 cycles of a sine starting at 0: one falling crossing at
+        # t=0.5 and one rising at t=1.0 (the t=0 start is not a crossing).
+        t = np.linspace(0, 1.25, 251)
+        wave = Waveform(t, np.sin(2 * np.pi * t))
+        assert wave.crossings(0.0, "rise") == pytest.approx([1.0], abs=1e-3)
+        assert wave.crossings(0.0, "fall") == pytest.approx([0.5], abs=1e-3)
+        assert len(wave.crossings(0.0, "both")) == 2
+
+    def test_after_filter(self):
+        wave = square_wave()
+        all_rises = wave.crossings(0.5, "rise")
+        later = wave.crossings(0.5, "rise", after=all_rises[0])
+        assert later == all_rises[1:]
+
+    def test_no_crossing_returns_empty(self):
+        assert ramp().crossings(2.0) == []
+        assert ramp().first_crossing(2.0) is None
+
+    def test_sample_exactly_on_level(self):
+        wave = Waveform([0, 1, 2], [0.0, 0.5, 1.0])
+        crossings = wave.crossings(0.5, "rise")
+        assert crossings == [1.0]
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            ramp().crossings(0.5, "sideways")
+
+
+class TestLevels:
+    def test_square_levels(self):
+        wave = square_wave(low=0.1, high=0.9)
+        vlow, vhigh = wave.levels()
+        assert vlow == pytest.approx(0.1)
+        assert vhigh == pytest.approx(0.9)
+
+    def test_constant_levels(self):
+        wave = Waveform([0, 1, 2], [0.7, 0.7, 0.7])
+        assert wave.levels() == (0.7, 0.7)
+        assert wave.swing() == 0.0
+
+    def test_levels_robust_to_spikes(self):
+        wave = square_wave(low=0.0, high=1.0)
+        values = wave.values.copy()
+        values[10] = 5.0  # one glitch sample
+        spiky = Waveform(wave.times, values)
+        vlow, vhigh = spiky.levels()
+        assert vhigh == pytest.approx(1.0, abs=0.01)
+
+    def test_extreme_swing(self):
+        wave = square_wave(low=-1.0, high=2.0)
+        assert wave.extreme_swing() == pytest.approx(3.0)
+
+
+class TestStability:
+    def make_decay(self, drop=1.0, tau=0.1, ripple=0.0, t_stop=1.0):
+        t = np.linspace(0, t_stop, 500)
+        v = 3.3 - drop * (1 - np.exp(-t / tau))
+        if ripple:
+            v += ripple * np.sin(2 * np.pi * 40 * t)
+        return Waveform(t, v)
+
+    def test_exponential_decay_tstab(self):
+        wave = self.make_decay()
+        t_stab = wave.time_to_stability(margin=0.1)
+        # 90 % of the way down an exponential: t = tau * ln(10) ~ 0.23.
+        assert t_stab == pytest.approx(0.23, abs=0.03)
+
+    def test_no_drop_returns_none(self):
+        wave = Waveform([0, 1, 2], [3.3, 3.3, 3.3])
+        assert wave.time_to_stability() is None
+
+    def test_small_drop_below_min_drop(self):
+        wave = self.make_decay(drop=0.01)
+        assert wave.time_to_stability(min_drop=0.05) is None
+
+    def test_still_decaying_returns_none(self):
+        # tau >> window: essentially a linear decay whose minimum band is
+        # only touched at the very end of the record.
+        wave = self.make_decay(drop=1.0, tau=10.0)
+        assert wave.time_to_stability(min_drop=0.01) is None
+
+    def test_stable_maximum_is_ripple_top(self):
+        wave = self.make_decay(drop=1.0, tau=0.05, ripple=0.05)
+        v_max = wave.stable_maximum(margin=0.2)
+        assert v_max is not None
+        assert 2.3 < v_max < 2.5  # bottom level 2.3 + ripple
+
+    def test_ripple_measures_tail(self):
+        wave = self.make_decay(drop=1.0, tau=0.01, ripple=0.02)
+        assert wave.ripple() == pytest.approx(0.04, abs=0.01)
+
+
+class TestHelpers:
+    def test_differential_crossings(self):
+        t = np.linspace(0, 1.25, 500)
+        p = Waveform(t, np.sin(2 * np.pi * t))
+        n = Waveform(t, -np.sin(2 * np.pi * t))
+        # p - n = 2 sin: one falling zero at 0.5, one rising at 1.0.
+        assert differential_crossings(p, n, "rise") == pytest.approx(
+            [1.0], abs=1e-3)
+        assert differential_crossings(p, n, "fall") == pytest.approx(
+            [0.5], abs=1e-3)
+
+    def test_delay_between_pairs_edges(self):
+        reference = [1.0, 2.0, 3.0]
+        measured = [1.1, 2.15, 3.05]
+        delays = delay_between(reference, measured)
+        assert delays == pytest.approx([0.1, 0.15, 0.05])
+
+    def test_delay_between_skips_unmatched(self):
+        assert delay_between([2.0], [1.0, 2.5]) == pytest.approx([0.5])
+
+    def test_hysteresis_thresholds(self):
+        t = np.linspace(0, 2, 801)
+        drive = Waveform(t, np.where(t < 1, 1 - t, t - 1))  # down then up
+        # Output switches low when drive < 0.3, back high when drive > 0.6.
+        state, out = 1.0, []
+        for v in drive.values:
+            if state > 0.5 and v < 0.3:
+                state = 0.0
+            elif state < 0.5 and v > 0.6:
+                state = 1.0
+            out.append(state)
+        response = Waveform(t, out)
+        fall_at, rise_at = hysteresis_thresholds(drive, response, 0.5)
+        assert fall_at == pytest.approx(0.3, abs=0.01)
+        assert rise_at == pytest.approx(0.6, abs=0.01)
