@@ -1,0 +1,136 @@
+"""Performance harness: compiled engine + warm-started campaigns.
+
+Times the two workloads the tentpole optimisation targets and writes
+``BENCH_sim.json`` at the repository root so future changes have a perf
+trajectory to compare against:
+
+* **campaign** — the section-3 defect catalog (4 defect kinds, 2 pipe
+  values) against the three-oracle setup on a 3-stage chain with a
+  shared detector.  Baseline: legacy per-component stamping, cold
+  starts.  Optimized: compiled stamping + fault-free warm starts.
+* **transient** — an 8-stage buffer chain driven at 1 GHz for 2 ns.
+  Baseline: legacy stamping.  Optimized: compiled stamping with the
+  cached companion pattern.
+
+Both baseline and optimized run in this same process (same BLAS, same
+interpreter), so the reported speedups are apples-to-apples.  Run with::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py
+
+See docs/performance.md for what the numbers mean and how to read them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.cml import NOMINAL, buffer_chain
+from repro.dft import build_shared_monitor
+from repro.faults import (
+    FlagOracle,
+    IddqOracle,
+    LogicOracle,
+    enumerate_defects,
+    run_campaign,
+)
+from repro.sim.options import SimOptions
+from repro.sim.transient import transient
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+OUTPUT = REPO_ROOT / "BENCH_sim.json"
+
+#: Acceptance targets for this optimisation pass.
+CAMPAIGN_TARGET = 3.0
+TRANSIENT_TARGET = 2.0
+
+
+def _best_of(func, repeats: int = 3) -> float:
+    """Best wall-clock of ``repeats`` runs (after one warmup)."""
+    func()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_campaign() -> dict:
+    chain = buffer_chain(NOMINAL, n_stages=3, frequency=100e6)
+    monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                   tech=NOMINAL)
+    oracles = [
+        LogicOracle(chain.output_nets),
+        FlagOracle(monitor.nets.flag, monitor.nets.flagb),
+        IddqOracle(),
+    ]
+    defects = list(enumerate_defects(
+        chain.circuit,
+        kinds=("pipe", "terminal-short", "resistor-short", "resistor-open"),
+        pipe_resistances=(2e3, 4e3)))
+
+    legacy = SimOptions(use_compiled=False)
+    baseline = _best_of(lambda: run_campaign(
+        chain.circuit, defects, oracles, options=legacy, warm_start=False))
+    optimized = _best_of(lambda: run_campaign(chain.circuit, defects, oracles))
+
+    warm = run_campaign(chain.circuit, defects, oracles)
+    cold = run_campaign(chain.circuit, defects, oracles, warm_start=False)
+    converged = [r for r in warm.records if r.converged]
+    return {
+        "defects": len(defects),
+        "baseline_s": round(baseline, 4),
+        "optimized_s": round(optimized, 4),
+        "speedup": round(baseline / optimized, 2),
+        "target_speedup": CAMPAIGN_TARGET,
+        "mean_nr_iterations_warm": round(
+            sum(r.newton_iterations for r in converged) / len(converged), 2),
+        "mean_nr_iterations_cold": round(
+            sum(r.newton_iterations for r in cold.records if r.converged)
+            / len(converged), 2),
+    }
+
+
+def bench_transient() -> dict:
+    chain = buffer_chain(NOMINAL, n_stages=8, frequency=1e9)
+    circuit = chain.circuit
+    t_stop, dt = 2e-9, 2e-12
+
+    baseline = _best_of(lambda: transient(
+        circuit, t_stop, dt, SimOptions(use_compiled=False)), repeats=2)
+    optimized = _best_of(lambda: transient(
+        circuit, t_stop, dt, SimOptions()), repeats=2)
+    return {
+        "n_stages": 8,
+        "t_stop_s": t_stop,
+        "dt_s": dt,
+        "baseline_s": round(baseline, 4),
+        "optimized_s": round(optimized, 4),
+        "speedup": round(baseline / optimized, 2),
+        "target_speedup": TRANSIENT_TARGET,
+    }
+
+
+def main() -> int:
+    results = {
+        "description": (
+            "Simulation-core performance: baseline = legacy per-component "
+            "stamping (use_compiled=False, cold starts); optimized = "
+            "compiled vectorised stamping, cached sparsity patterns and "
+            "warm-started fault campaigns.  Both measured in one process."),
+        "campaign": bench_campaign(),
+        "transient": bench_transient(),
+    }
+    results["targets_met"] = (
+        results["campaign"]["speedup"] >= CAMPAIGN_TARGET
+        and results["transient"]["speedup"] >= TRANSIENT_TARGET)
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\n[written to {OUTPUT}]")
+    return 0 if results["targets_met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,6 @@ fault-free and faulty chains at 100 MHz.
 from conftest import record, run_once
 
 from repro.analysis import fig4_healing
-from repro.cml import NOMINAL
 
 
 def test_fig4_healing(benchmark):

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..circuit.netlist import Circuit
 from ..cml.chain import BufferChain, buffer_chain
 from ..cml.technology import CmlTechnology, NOMINAL
 from ..faults.defects import Pipe, TerminalShort
@@ -20,7 +19,7 @@ from ..faults.injector import inject
 from ..sim.sweep import run_cycles
 from ..sim.transient import TransientResult
 from ..sim.waveform import Waveform, differential_crossings
-from .reporting import format_series, format_table, picoseconds
+from .reporting import format_table, picoseconds
 
 #: Default stimulus frequency of the paper's chain experiments.
 PAPER_FREQUENCY = 100e6

@@ -4,7 +4,7 @@ section 6.5/6.6 studies."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..circuit.components import VoltageSource
 from ..circuit.netlist import Circuit
@@ -24,7 +24,7 @@ from ..sim.dc import operating_point
 from ..sim.sweep import run_cycles
 from ..sim.transient import transient
 from ..sim.waveform import Waveform, hysteresis_thresholds
-from .reporting import format_series, format_table, nanoseconds
+from .reporting import format_table, nanoseconds
 
 PAPER_FREQUENCY = 100e6
 

@@ -17,7 +17,7 @@ from ..sim.dc import ConvergenceError, operating_point
 from ..testgen.circuits import BENCHMARKS
 from ..testgen.initialization import convergence_length
 from ..testgen.patterns import random_vectors
-from ..testgen.toggle import coverage_growth, measure_toggle_coverage
+from ..testgen.toggle import coverage_growth
 from .reporting import format_table
 
 

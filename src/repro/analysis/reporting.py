@@ -6,7 +6,7 @@ keep that output consistent and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],

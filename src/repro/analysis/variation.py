@@ -16,15 +16,15 @@ thresholds are referenced to vtest, not to accumulated delay.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.devices import Bjt
-from ..circuit.netlist import Circuit
 from ..cml.chain import BufferChain, buffer_chain
 from ..cml.technology import CmlTechnology, NOMINAL
 from ..dft.sharing import build_shared_monitor
+from ..parallel import parallel_map
 from ..sim.dc import operating_point
 from ..sim.sweep import run_cycles
 from ..sim.waveform import differential_crossings
@@ -122,13 +122,49 @@ class EscapeStudy:
             f"{self.n_stages}-stage chain, sigma = {self.sigma:.0%}"))
 
 
+def _delay_sample(task) -> Tuple[float, float]:
+    """One Monte-Carlo sample: (fault-free delay, slow-gate delay).
+
+    Module-level and seed-driven so the parallel executor can pickle it
+    and the result is identical regardless of execution order.
+    """
+    tech, n_stages, sigma, slow_factor, sample_seed = task
+
+    clean = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
+    perturb_chain(clean, sigma, random.Random(sample_seed))
+    fault_free = chain_delay(clean)
+
+    slow = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
+    perturb_chain(slow, sigma, random.Random(sample_seed))
+    slow_down_stage(slow, n_stages // 2, slow_factor)
+    return fault_free, chain_delay(slow)
+
+
+def _detector_sample(task) -> bool:
+    """One detector trial: does the flag catch a 4k pipe on the perturbed
+    chain's middle stage?"""
+    from ..faults.defects import Pipe
+    from ..faults.injector import inject
+
+    tech, n_stages, sigma, sample_seed = task
+    chain = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
+    perturb_chain(chain, sigma, random.Random(sample_seed))
+    monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                   tech=tech)
+    target = chain.instances[n_stages // 2].name
+    op = operating_point(inject(chain.circuit, Pipe(f"{target}.Q3", 4e3)))
+    return op.voltage(monitor.nets.flag) < op.voltage(monitor.nets.flagb)
+
+
 def delay_escape_study(tech: CmlTechnology = NOMINAL,
                        n_stages: int = 10,
                        sigma: float = 0.10,
                        slow_factor: float = 2.0,
                        n_samples: int = 8,
                        seed: int = 42,
-                       check_detector: bool = True) -> EscapeStudy:
+                       check_detector: bool = True,
+                       parallel: bool = False,
+                       workers: Optional[int] = None) -> EscapeStudy:
     """Monte-Carlo reproduction of the section-1 escape argument.
 
     The tester's pass limit is the worst fault-free delay of the sampled
@@ -137,42 +173,28 @@ def delay_escape_study(tech: CmlTechnology = NOMINAL,
     With a mid-chain gate ``slow_factor`` x slower adding ~1 extra stage
     delay against a spread of ~sigma * sqrt(N) * stage, escapes are
     common — the paper's point.
+
+    Samples are seeded up front from ``seed``, so ``parallel=True``
+    (process-pool fan-out over ``workers``) returns exactly the same
+    study as the serial path.
     """
     rng = random.Random(seed)
-    fault_free: List[float] = []
-    faulty: List[float] = []
-    for _ in range(n_samples):
-        sample_seed = rng.randrange(1 << 30)
-
-        clean = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
-        perturb_chain(clean, sigma, random.Random(sample_seed))
-        fault_free.append(chain_delay(clean))
-
-        slow = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
-        perturb_chain(slow, sigma, random.Random(sample_seed))
-        slow_down_stage(slow, n_stages // 2, slow_factor)
-        faulty.append(chain_delay(slow))
-
+    tasks = [(tech, n_stages, sigma, slow_factor, rng.randrange(1 << 30))
+             for _ in range(n_samples)]
+    samples = parallel_map(_delay_sample, tasks, workers=workers,
+                           serial=not parallel)
+    fault_free = [s[0] for s in samples]
+    faulty = [s[1] for s in samples]
     test_limit = max(fault_free)
 
     catches = trials = None
     if check_detector:
-        from ..faults.defects import Pipe
-        from ..faults.injector import inject
-
-        catches, trials = 0, n_samples
         rng_det = random.Random(seed + 1)
-        for _ in range(n_samples):
-            chain = buffer_chain(tech, n_stages=n_stages, frequency=100e6)
-            perturb_chain(chain, sigma, random.Random(
-                rng_det.randrange(1 << 30)))
-            monitor = build_shared_monitor(chain.circuit, chain.output_nets,
-                                           tech=tech)
-            target = chain.instances[n_stages // 2].name
-            op = operating_point(inject(chain.circuit,
-                                        Pipe(f"{target}.Q3", 4e3)))
-            if op.voltage(monitor.nets.flag) < op.voltage(monitor.nets.flagb):
-                catches += 1
+        det_tasks = [(tech, n_stages, sigma, rng_det.randrange(1 << 30))
+                     for _ in range(n_samples)]
+        verdicts = parallel_map(_detector_sample, det_tasks, workers=workers,
+                                serial=not parallel)
+        catches, trials = sum(verdicts), n_samples
 
     return EscapeStudy(sigma=sigma, slow_factor=slow_factor,
                        n_stages=n_stages, fault_free_delays=fault_free,

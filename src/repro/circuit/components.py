@@ -23,6 +23,15 @@ from .sources import Dc, Waveform
 class Resistor(Component):
     """An ideal resistor.  ``value`` accepts floats or strings like ``"4k"``."""
 
+    #: Compiled-stamping dispatch tag: declares that this component's
+    #: entire linear stamp is the standard conductance pattern between
+    #: ``p`` and ``n`` with value :attr:`conductance`, letting
+    #: :class:`repro.sim.mna.CompiledStamps` pre-resolve its matrix
+    #: entries to integer indices.  Subclasses that override
+    #: :meth:`stamp_linear` with a different shape must reset this to
+    #: ``None`` to fall back to the generic stamping path.
+    stamp_kind = "conductance"
+
     MIN_RESISTANCE = 1e-6
 
     def __init__(self, name: str, p: str, n: str, value):
@@ -76,6 +85,10 @@ class VoltageSource(Component):
     ``VoltageSource("vgnd", "vgnd", "0", 3.3)`` is the usual rail idiom.
     """
 
+    #: Compiled-stamping dispatch tag (see :class:`Resistor`): the
+    #: standard MNA branch pattern with the waveform value on the RHS.
+    stamp_kind = "vsource"
+
     def __init__(self, name: str, p: str, n: str, waveform):
         super().__init__(name, {"p": p, "n": n})
         if not isinstance(waveform, Waveform):
@@ -100,6 +113,10 @@ class VoltageSource(Component):
 
 class CurrentSource(Component):
     """Independent current source driven by a :class:`Waveform`."""
+
+    #: Compiled-stamping dispatch tag (see :class:`Resistor`): RHS-only
+    #: current injection between ``p`` and ``n``.
+    stamp_kind = "isource"
 
     def __init__(self, name: str, p: str, n: str, waveform):
         super().__init__(name, {"p": p, "n": n})

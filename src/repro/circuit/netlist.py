@@ -15,7 +15,7 @@ an *open* rewires a single terminal onto a fresh net (see
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 GROUND = "0"
 
@@ -28,6 +28,14 @@ class Component:
     the hook methods below; the defaults describe an element that stamps
     nothing (useful for annotations).
     """
+
+    #: Compiled-stamping dispatch tags.  ``stamp_kind`` declares a known
+    #: linear stamp shape ("conductance", "vsource", "isource");
+    #: ``device_kind`` declares a known nonlinear model ("diode", "bjt").
+    #: ``None`` means the compiled engine falls back to calling the
+    #: component's own stamp methods through a collector adapter.
+    stamp_kind: Optional[str] = None
+    device_kind: Optional[str] = None
 
     def __init__(self, name: str, terminals: Dict[str, str]):
         if not name:
@@ -111,6 +119,15 @@ class Circuit:
         self.title = title
         self._components: Dict[str, Component] = {}
         self._split_counter = 0
+        #: Bumped on every topology mutation (add/remove/rewire); lets
+        #: the simulation engine cache per-topology artifacts (MNA
+        #: numbering, compiled stamps) and invalidate them reliably.
+        self._topology_version = 0
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter of topology mutations (see engine caching)."""
+        return self._topology_version
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -120,14 +137,17 @@ class Circuit:
         if component.name in self._components:
             raise ValueError(f"duplicate component name {component.name!r}")
         self._components[component.name] = component
+        self._topology_version += 1
         return component
 
     def remove(self, name: str) -> Component:
         """Remove and return the component called ``name``."""
         try:
-            return self._components.pop(name)
+            component = self._components.pop(name)
         except KeyError:
             raise KeyError(f"no component named {name!r}") from None
+        self._topology_version += 1
+        return component
 
     def __getitem__(self, name: str) -> Component:
         try:
@@ -192,12 +212,14 @@ class Circuit:
         self._split_counter += 1
         new_net = f"{old_net}#open{self._split_counter}"
         component.rewire(terminal, new_net)
+        self._topology_version += 1
         return old_net, new_net
 
     def merge_nets(self, keep: str, remove: str) -> None:
         """Rewire every terminal on ``remove`` to ``keep`` (hard short)."""
         for component, terminal in self.components_on_net(remove):
             component.rewire(terminal, keep)
+        self._topology_version += 1
 
     def copy(self) -> "Circuit":
         """Deep copy; fault injection always works on a copy."""

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..units import format_value
 from .components import Capacitor, CurrentSource, Resistor, VoltageSource
 from .devices import Bjt, Diode, MultiEmitterBjt
-from .netlist import Circuit, Component
+from .netlist import Circuit
 from .sources import Dc, Prbs, Pulse, Pwl, Sine, Waveform
 
 

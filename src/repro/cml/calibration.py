@@ -11,7 +11,7 @@ derived from the paper's 53 ps.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..sim.dc import operating_point
 from ..sim.sweep import run_cycles

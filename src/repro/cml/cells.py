@@ -24,7 +24,7 @@ Q3 of the DUT" is literally ``Pipe("DUT.Q3", 4e3)``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.devices import Bjt

@@ -9,7 +9,7 @@ current-source transistor is the component ``"DUT.Q3"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..circuit.components import VoltageSource

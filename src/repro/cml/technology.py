@@ -17,7 +17,7 @@ self-consistent parameter set from those anchors:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..circuit.devices import THERMAL_VOLTAGE
 from ..circuit.components import VoltageSource

@@ -25,7 +25,7 @@ band is only ~30 mV wide (3.54 V / 3.57 V).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.devices import Bjt

@@ -29,7 +29,7 @@ variant-3 load of :mod:`repro.dft.comparator`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.devices import Bjt, MultiEmitterBjt

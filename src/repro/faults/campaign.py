@@ -14,11 +14,17 @@ transient experiments in :mod:`repro.analysis`.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..circuit.netlist import Circuit
+from ..parallel import parallel_map
 from ..sim.dc import ConvergenceError, DcSolution, operating_point
+from ..sim.mna import structure_for
+from ..sim.options import DEFAULT_OPTIONS, SimOptions
 from .defects import Defect
 from .injector import inject
 
@@ -108,6 +114,10 @@ class FaultRecord:
     defect: Defect
     verdicts: Dict[str, str]
     converged: bool = True
+    #: Newton iterations spent on this defect's operating point (0 when
+    #: the solve never converged) — the campaign benchmarks read this to
+    #: show what warm starting buys.
+    newton_iterations: int = 0
 
     def caught_by(self) -> List[str]:
         return [name for name, verdict in self.verdicts.items()
@@ -161,30 +171,85 @@ class CampaignResult:
                             title="Fault campaign coverage matrix")
 
 
+def _warm_start_vector(structure, net_volts: Dict[str, float],
+                       branch_currents: Dict[str, float]) -> np.ndarray:
+    """Map a fault-free solution onto a faulty topology's unknowns.
+
+    Nets map by name; the fresh ``...#openN`` nets created by open
+    defects inherit the voltage of the net they were split from, which
+    is an excellent first guess for the high-impedance open model.
+    Unmatched unknowns start at zero, exactly like a cold start.
+    """
+    x0 = np.zeros(structure.n_unknowns)
+    for net, index in structure.net_index.items():
+        value = net_volts.get(net)
+        if value is None:
+            value = net_volts.get(net.split("#open", 1)[0], 0.0)
+        x0[index] = value
+    for name, index in structure.branch_index.items():
+        x0[index] = branch_currents.get(name, 0.0)
+    return x0
+
+
+def _solve_defect(defect: Defect, *, circuit: Circuit,
+                  oracles: Sequence[Oracle], options: SimOptions,
+                  warm: Optional[Tuple[Dict[str, float], Dict[str, float]]]
+                  ) -> FaultRecord:
+    """One campaign unit of work: inject, solve, judge.
+
+    Module-level (and driven through :func:`functools.partial`) so the
+    parallel executor can pickle it.
+    """
+    faulty = inject(circuit, defect)
+    initial = None
+    if warm is not None:
+        initial = _warm_start_vector(structure_for(faulty), *warm)
+    try:
+        solution = operating_point(faulty, options, initial=initial)
+    except ConvergenceError:
+        return FaultRecord(defect=defect,
+                           verdicts={o.name: FAIL for o in oracles},
+                           converged=False)
+    verdicts = {oracle.name: oracle.judge(solution) for oracle in oracles}
+    return FaultRecord(defect=defect, verdicts=verdicts,
+                       newton_iterations=solution.stats.iterations)
+
+
 def run_campaign(circuit: Circuit, defects: Sequence[Defect],
-                 oracles: Sequence[Oracle]) -> CampaignResult:
+                 oracles: Sequence[Oracle], *,
+                 options: SimOptions = DEFAULT_OPTIONS,
+                 warm_start: bool = True,
+                 parallel: bool = False,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> CampaignResult:
     """Inject each defect, solve DC, collect every oracle's verdict.
 
     ``circuit`` must already contain whatever the oracles read (monitor
     flags, supply sources).  Defects whose operating point cannot be
     solved are recorded as non-converged (trivially detectable).
+
+    ``warm_start`` seeds every faulty solve from the fault-free
+    operating point (mapped by net name, see :func:`_warm_start_vector`),
+    which typically halves the Newton iteration count per defect.
+    ``parallel=True`` fans the per-defect solves out over a process pool
+    (``workers`` processes, work split into ``chunk_size`` pieces — see
+    :func:`repro.parallel.parallel_map`); results are returned in defect
+    order and are identical to the serial path's.
     """
-    reference = operating_point(circuit)
+    reference = operating_point(circuit, options)
     for oracle in oracles:
         oracle.prepare(reference)
 
-    result = CampaignResult(oracle_names=[o.name for o in oracles])
-    for defect in defects:
-        faulty = inject(circuit, defect)
-        try:
-            solution = operating_point(faulty)
-        except ConvergenceError:
-            result.records.append(FaultRecord(
-                defect=defect,
-                verdicts={o.name: FAIL for o in oracles},
-                converged=False))
-            continue
-        verdicts = {oracle.name: oracle.judge(solution)
-                    for oracle in oracles}
-        result.records.append(FaultRecord(defect=defect, verdicts=verdicts))
-    return result
+    warm = None
+    if warm_start:
+        warm = (reference.voltages(),
+                {name: reference.branch_current(name)
+                 for name in reference.structure.branch_index})
+
+    solve = functools.partial(_solve_defect, circuit=circuit,
+                              oracles=tuple(oracles), options=options,
+                              warm=warm)
+    records = parallel_map(solve, list(defects), workers=workers,
+                           chunk_size=chunk_size, serial=not parallel)
+    return CampaignResult(records=list(records),
+                          oracle_names=[o.name for o in oracles])

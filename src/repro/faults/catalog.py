@@ -15,7 +15,7 @@ defects inside the logic cells.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Iterator, List, Sequence, Set
 
 from ..circuit.components import Resistor, VoltageSource
 from ..circuit.devices import Bjt, MultiEmitterBjt

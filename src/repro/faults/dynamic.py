@@ -12,7 +12,7 @@ caught if the flag ever spends a settled stretch in the FAIL state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..sim.dc import ConvergenceError

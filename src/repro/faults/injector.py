@@ -8,7 +8,7 @@ never mutated, and the returned copy carries ``FAULT_*`` elements plus an
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
 
 from ..circuit.netlist import Circuit
 from .defects import Defect

@@ -1,0 +1,82 @@
+"""Process-pool execution helpers for embarrassingly parallel studies.
+
+Fault campaigns, Monte-Carlo variation studies and parameter sweeps all
+reduce to "map a pure function over a list of picklable work items".
+:func:`parallel_map` is the one shared implementation: chunked
+process-pool fan-out with a graceful serial fallback, so callers never
+have to special-case platforms where multiprocessing is unavailable,
+restricted (sandboxes, some CI runners) or simply not worth it
+(single-core hosts, tiny work lists).
+
+Work functions must be module-level (picklable) and should be pure:
+item in, result out, no shared state.  Results are always returned in
+input order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not specify one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    return [list(items[i:i + chunk_size])
+            for i in range(0, len(items), chunk_size)]
+
+
+def _run_chunk(payload):
+    """Module-level chunk worker (must be picklable for the pool)."""
+    func, chunk = payload
+    return [func(item) for item in chunk]
+
+
+def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 serial: bool = False) -> List[R]:
+    """Map ``func`` over ``items``, fanning out to a process pool.
+
+    ``workers`` defaults to the machine's CPU count; ``chunk_size``
+    defaults to an even split across workers (chunking amortises the
+    per-task pickling overhead, which matters because one DC solve is
+    only a few milliseconds).  ``serial=True`` forces the in-process
+    path, as do single-worker counts and short work lists.
+
+    Any pool-level failure (no ``fork``/``spawn`` support, unpicklable
+    payloads, a worker dying) falls back to running the whole map
+    serially: a genuine error in ``func`` reproduces deterministically
+    in-process, so nothing is hidden — only the parallelism is lost.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if serial or workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+
+    if chunk_size is None:
+        chunk_size = max(1, (len(items) + workers - 1) // workers)
+    chunks = _chunked(items, chunk_size)
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            chunk_results = list(pool.map(_run_chunk,
+                                          [(func, chunk) for chunk in chunks]))
+    except Exception:
+        # Pool machinery failed (sandboxed platform, pickling, dead
+        # worker).  Rerun serially: correctness first, speed second.
+        return [func(item) for item in items]
+
+    results: List[R] = []
+    for chunk_result in chunk_results:
+        results.extend(chunk_result)
+    return results

@@ -13,8 +13,7 @@ Used by the extension benches to characterise the CML gate bandwidth
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -121,14 +120,23 @@ def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
     rhs[structure.branch_index[ac_source]] = 1.0
 
     frequencies = np.asarray(list(frequencies), dtype=float)
-    states = np.empty((len(frequencies), n), dtype=complex)
-    for index, frequency in enumerate(frequencies):
-        matrix = g_matrix + 2j * np.pi * frequency * c_matrix
-        try:
-            states[index] = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as error:
-            raise SingularMatrixError(
-                f"AC solve failed at {frequency:g} Hz: {error}") from None
+    # Batched solve: one LAPACK call over the stacked (F, n, n) systems
+    # beats F separate solves by a wide margin for the usual sweep sizes.
+    # Falls back to the per-frequency loop only when the batch fails, so
+    # the error can name the offending frequency.
+    matrices = (g_matrix[None, :, :]
+                + 2j * np.pi * frequencies[:, None, None] * c_matrix)
+    try:
+        states = np.linalg.solve(matrices, rhs[None, :, None])[:, :, 0]
+    except np.linalg.LinAlgError:
+        states = np.empty((len(frequencies), n), dtype=complex)
+        for index, frequency in enumerate(frequencies):
+            matrix = g_matrix + 2j * np.pi * frequency * c_matrix
+            try:
+                states[index] = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as error:
+                raise SingularMatrixError(
+                    f"AC solve failed at {frequency:g} Hz: {error}") from None
     return AcResult(structure, frequencies, states)
 
 

@@ -16,7 +16,8 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..circuit.netlist import Circuit
-from .mna import MnaStamper, MnaStructure, SingularMatrixError, build_base, stamp_nonlinear
+from .mna import (MnaStamper, MnaStructure, SingularMatrixError, build_base,
+                  stamp_nonlinear, structure_for)
 from .options import DEFAULT_OPTIONS, SimOptions
 
 
@@ -93,24 +94,46 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
     ``options`` on an iteration where no junction limiting occurred.
     """
     local = options if gmin is None else _with_gmin(options, gmin)
-    stamper = build_base(structure, local, t, source_scale, companions)
-    x = x0.copy()
     n_nets = structure.n_nets
-    for iteration in range(options.max_nr_iterations):
-        stamper.restore_base()
-        stamper.clear_limited()
-        stamp_nonlinear(structure, stamper, x)
-        x_new = stamper.solve()
-        if options.max_voltage_step > 0:
-            delta = x_new[:n_nets] - x[:n_nets]
-            np.clip(delta, -options.max_voltage_step,
-                    options.max_voltage_step, out=delta)
-            x_new[:n_nets] = x[:n_nets] + delta
-        if stats is not None:
-            stats.iterations += 1
-        if not stamper.limited and _converged(x, x_new, n_nets, options):
-            return x_new
-        x = x_new
+    x = x0.copy()
+    if options.use_compiled:
+        stamps = structure.compiled()
+        system = stamps.build_system(local, t, source_scale, companions)
+        try:
+            for iteration in range(options.max_nr_iterations):
+                x_new, limited = system.iterate(x)
+                if options.max_voltage_step > 0:
+                    delta = x_new[:n_nets] - x[:n_nets]
+                    np.clip(delta, -options.max_voltage_step,
+                            options.max_voltage_step, out=delta)
+                    x_new[:n_nets] = x[:n_nets] + delta
+                if stats is not None:
+                    stats.iterations += 1
+                if not limited and _converged(x, x_new, n_nets, options):
+                    return x_new
+                x = x_new
+        finally:
+            # Persist junction-limiting state onto the devices so the
+            # legacy path (AC linearisation, KCL checks) sees the same
+            # state a per-component solve would have left behind.
+            stamps.store_states()
+    else:
+        stamper = build_base(structure, local, t, source_scale, companions)
+        for iteration in range(options.max_nr_iterations):
+            stamper.restore_base()
+            stamper.clear_limited()
+            stamp_nonlinear(structure, stamper, x)
+            x_new = stamper.solve()
+            if options.max_voltage_step > 0:
+                delta = x_new[:n_nets] - x[:n_nets]
+                np.clip(delta, -options.max_voltage_step,
+                        options.max_voltage_step, out=delta)
+                x_new[:n_nets] = x[:n_nets] + delta
+            if stats is not None:
+                stats.iterations += 1
+            if not stamper.limited and _converged(x, x_new, n_nets, options):
+                return x_new
+            x = x_new
     raise ConvergenceError(
         f"Newton-Raphson did not converge in {options.max_nr_iterations} "
         "iterations"
@@ -139,7 +162,7 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     Strategy: plain Newton → gmin stepping → source stepping.  Raises
     :class:`ConvergenceError` if everything fails.
     """
-    structure = MnaStructure(circuit)
+    structure = structure_for(circuit)
     stats = NewtonStats()
     x0 = initial if initial is not None else np.zeros(structure.n_unknowns)
 

@@ -9,6 +9,12 @@ isolated operating points cannot:
   the solver follows the branch it is on, so an up-sweep and a down-sweep
   trace different transitions — the DC counterpart of the Fig. 12
   transient characterisation.
+
+Swapping the source waveform between points is a value mutation, not a
+topology mutation, so every point of a sweep reuses the cached MNA
+numbering and compiled stamps of the working circuit (see
+:func:`repro.sim.mna.structure_for`) — the per-point cost is the Newton
+iterations themselves.
 """
 
 from __future__ import annotations

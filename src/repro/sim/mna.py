@@ -10,16 +10,42 @@ Assembly is split into a *base* part (linear elements + sources at the
 current time + companion conductances, which are constant across Newton
 iterations of one solve) and a per-iteration nonlinear part, so only the
 handful of device stamps is rebuilt inside the Newton loop.
+
+Two assembly engines coexist:
+
+* the **legacy stamping path** (:class:`MnaStamper`, :func:`build_base`,
+  :func:`stamp_nonlinear`) resolves net names per stamp and loops over
+  components in Python.  It remains the reference implementation, the
+  AC-analysis backend, and the cross-check target of the equivalence
+  tests; select it with ``SimOptions(use_compiled=False)``.
+* the **compiled path** (:class:`CompiledStamps` / :class:`CompiledSystem`)
+  resolves every net and branch name to integer indices once per
+  topology, prebuilds fixed-sparsity COO index arrays for the linear,
+  gmin and device stamps, and evaluates all diode/BJT junctions in
+  vectorised numpy batches (gather junction voltages → batched
+  exponential + SPICE limiting → scatter stamps).  On the sparse path
+  the CSC sparsity pattern and the COO→CSC scatter map are computed once
+  and reused by every Newton iteration and transient timestep, so each
+  iteration only rewrites the value vector before refactorising.
+
+Compiled artifacts are cached per circuit topology via
+:func:`structure_for`, keyed on :attr:`Circuit.topology_version`, which
+is what lets DC sweeps, parameter sweeps and fault campaigns stop paying
+structure-rebuild cost on every solve.  Component *values* (resistances,
+device parameters, source waveforms) are re-gathered on every solve, so
+mutating them between solves — as the variation studies do — stays safe.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
+from ..circuit.devices import junction_current_vec, pnjlim_vec
 from ..circuit.netlist import GROUND, Circuit, Component
 
 
@@ -32,7 +58,8 @@ class MnaStructure:
 
     Nets are numbered in first-appearance order (ground excluded), branch
     elements after them.  Rebuild the structure after topology mutations
-    (fault injection creates a fresh one anyway).
+    (fault injection creates a fresh one anyway); :func:`structure_for`
+    does the rebuild-on-mutation bookkeeping automatically.
     """
 
     def __init__(self, circuit: Circuit):
@@ -53,6 +80,7 @@ class MnaStructure:
         for component in self.nonlinear:
             for p, n, _vcrit in component.junctions():
                 self.junction_list.append((p, n))
+        self._compiled: Optional["CompiledStamps"] = None
 
     def index(self, net: str) -> int:
         """Matrix index of a net; -1 for ground."""
@@ -62,6 +90,12 @@ class MnaStructure:
             return self.net_index[net]
         except KeyError:
             raise KeyError(f"net {net!r} not in MNA structure") from None
+
+    def compiled(self) -> "CompiledStamps":
+        """The compiled stamping tables for this topology (built lazily)."""
+        if self._compiled is None:
+            self._compiled = CompiledStamps(self)
+        return self._compiled
 
     def voltages_from(self, x: np.ndarray) -> Callable[[str], float]:
         """A net → volts accessor over the solution vector ``x``."""
@@ -82,11 +116,45 @@ class MnaStructure:
                 reset()
 
 
+#: Per-circuit cache of (topology_version, MnaStructure); weak keys keep
+#: throwaway fault-injected copies from accumulating.
+_STRUCTURE_CACHE: "weakref.WeakKeyDictionary[Circuit, Tuple[int, MnaStructure]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def structure_for(circuit: Circuit) -> MnaStructure:
+    """Cached :class:`MnaStructure` for ``circuit``.
+
+    Reuses the numbering (and any compiled stamps hanging off it) as long
+    as the circuit's topology is unchanged; a mutation bumping
+    :attr:`~repro.circuit.netlist.Circuit.topology_version` forces a
+    rebuild.  This is what makes repeated ``operating_point`` calls on
+    one circuit — DC sweeps, hysteresis legs, campaign references — pay
+    the name-resolution cost only once.
+    """
+    version = getattr(circuit, "topology_version", None)
+    try:
+        entry = _STRUCTURE_CACHE.get(circuit)
+    except TypeError:  # unhashable/unweakrefable circuit-like object
+        return MnaStructure(circuit)
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    structure = MnaStructure(circuit)
+    try:
+        _STRUCTURE_CACHE[circuit] = (version, structure)
+    except TypeError:
+        pass
+    return structure
+
+
 class MnaStamper:
     """Accumulates stamps into dense or sparse storage.
 
     One stamper is created per solve; ``snapshot_base`` freezes the linear
     part so the Newton loop can ``restore_base`` cheaply each iteration.
+    This is the legacy (reference) assembly engine — the hot paths use
+    :class:`CompiledStamps` instead.
     """
 
     def __init__(self, structure: MnaStructure, sparse: bool):
@@ -209,12 +277,18 @@ class MnaStamper:
     def solve(self) -> np.ndarray:
         """Solve the assembled system; raises :class:`SingularMatrixError`."""
         if self.sparse:
-            extra = coo_matrix(
-                (self._vals, (self._rows, self._cols)), shape=(self._n, self._n)
-            ).tocsc()
-            matrix = extra if self._base_matrix is None else self._base_matrix + extra
+            if self._vals:
+                extra = coo_matrix(
+                    (self._vals, (self._rows, self._cols)),
+                    shape=(self._n, self._n)).tocsc()
+                matrix = (extra if self._base_matrix is None
+                          else self._base_matrix + extra)
+            elif self._base_matrix is not None:
+                matrix = self._base_matrix
+            else:
+                matrix = csc_matrix((self._n, self._n))
             try:
-                lu = splu(matrix.tocsc())
+                lu = splu(matrix)
                 x = lu.solve(self._rhs)
             except RuntimeError as error:
                 raise SingularMatrixError(str(error)) from None
@@ -228,10 +302,600 @@ class MnaStamper:
         return x
 
 
+# ----------------------------------------------------------------------
+# Compiled stamping
+# ----------------------------------------------------------------------
+
+def _index_array(structure: MnaStructure, nets: Sequence[str]) -> np.ndarray:
+    return np.array([structure.index(net) for net in nets], dtype=np.intp)
+
+
+def _conductance_pattern(idx_a: np.ndarray, idx_b: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """COO pattern of ``g`` stamped between net pairs ``(a, b)``.
+
+    Returns ``(rows, cols, src, sign)`` with ground entries pruned:
+    per-element values are ``values[src] * sign``.
+    """
+    m = len(idx_a)
+    ones = np.ones(m)
+    rows = np.concatenate([idx_a, idx_b, idx_a, idx_b])
+    cols = np.concatenate([idx_a, idx_b, idx_b, idx_a])
+    sign = np.concatenate([ones, ones, -ones, -ones])
+    src = np.tile(np.arange(m, dtype=np.intp), 4)
+    keep = (rows >= 0) & (cols >= 0)
+    return rows[keep], cols[keep], src[keep], sign[keep]
+
+
+def _injection_pattern(idx_from: np.ndarray, idx_to: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """RHS pattern of current ``i`` flowing from → to through an element
+    (``rhs[from] -= i``, ``rhs[to] += i``), ground entries pruned."""
+    m = len(idx_from)
+    ones = np.ones(m)
+    rows = np.concatenate([idx_from, idx_to])
+    sign = np.concatenate([-ones, ones])
+    src = np.tile(np.arange(m, dtype=np.intp), 2)
+    keep = rows >= 0
+    return rows[keep], src[keep], sign[keep]
+
+
+class CompanionSet:
+    """Fixed-pattern transient companion stamps.
+
+    One conductance plus one RHS current injection per charge-storage
+    element; the pattern is resolved to integer indices once per
+    transient and only the ``(geq, ieq)`` values change per timestep.
+    The object is also callable with the legacy :class:`MnaStamper` API
+    so the reference stamping path accepts it as a ``companions`` hook.
+    """
+
+    def __init__(self, structure: MnaStructure,
+                 pairs: Sequence[Tuple[str, str]]):
+        self.pairs = list(pairs)
+        idx_p = _index_array(structure, [p for p, _ in self.pairs])
+        idx_n = _index_array(structure, [n for _, n in self.pairs])
+        self.rows, self.cols, self.src, self.sign = _conductance_pattern(
+            idx_p, idx_n)
+        self.rhs_rows, self.rhs_src, self.rhs_sign = _injection_pattern(
+            idx_p, idx_n)
+        self.geq = np.zeros(len(self.pairs))
+        self.ieq = np.zeros(len(self.pairs))
+        #: Sparse-pattern cache slot owned by CompiledStamps.
+        self._pattern_cache: Optional[Tuple[int, "_CscPattern"]] = None
+
+    def set_values(self, geq: np.ndarray, ieq: np.ndarray) -> None:
+        """Install this step's companion conductances and currents."""
+        self.geq = np.asarray(geq, dtype=float)
+        self.ieq = np.asarray(ieq, dtype=float)
+
+    def matrix_values(self) -> np.ndarray:
+        return self.geq[self.src] * self.sign
+
+    def rhs_values(self) -> np.ndarray:
+        return self.ieq[self.rhs_src] * self.rhs_sign
+
+    def __call__(self, stamper: MnaStamper) -> None:
+        """Stamp through the legacy component-facing API."""
+        for (net_p, net_n), geq, ieq in zip(self.pairs, self.geq, self.ieq):
+            stamper.conductance(net_p, net_n, float(geq))
+            stamper.current_source(net_p, net_n, float(ieq))
+
+
+class _FallbackCollector:
+    """Duck-typed :class:`MnaStamper` recording integer triplets.
+
+    Components without a compiled dispatch tag stamp through this
+    adapter; the triplets are merged into the compiled system, so exotic
+    elements stay correct at legacy-path speed without blocking the
+    vectorised fast path for everything else.
+    """
+
+    def __init__(self, structure: MnaStructure, source_scale: float = 1.0):
+        self.structure = structure
+        self.source_scale = source_scale
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+        self.rhs_rows: List[int] = []
+        self.rhs_vals: List[float] = []
+        self._limited = False
+
+    def _add(self, i: int, j: int, value: float) -> None:
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        self.rows.append(i)
+        self.cols.append(j)
+        self.vals.append(value)
+
+    def _add_rhs(self, i: int, value: float) -> None:
+        if i >= 0:
+            self.rhs_rows.append(i)
+            self.rhs_vals.append(value)
+
+    def conductance(self, net_a: str, net_b: str, g: float) -> None:
+        a = self.structure.index(net_a)
+        b = self.structure.index(net_b)
+        self._add(a, a, g)
+        self._add(b, b, g)
+        self._add(a, b, -g)
+        self._add(b, a, -g)
+
+    def current_source(self, net_from: str, net_to: str, i: float) -> None:
+        i *= self.source_scale
+        self._add_rhs(self.structure.index(net_from), -i)
+        self._add_rhs(self.structure.index(net_to), i)
+
+    def voltage_source(self, component: Component, net_p: str, net_n: str,
+                       value: float) -> None:
+        k = self.structure.branch_index[component.name]
+        p = self.structure.index(net_p)
+        n = self.structure.index(net_n)
+        self._add(p, k, 1.0)
+        self._add(n, k, -1.0)
+        self._add(k, p, 1.0)
+        self._add(k, n, -1.0)
+        self._add_rhs(k, value * self.source_scale)
+
+    def nonlinear_current(self, net: str, i_op: float,
+                          partials: Sequence[Tuple[str, float]],
+                          bias: float) -> None:
+        row = self.structure.index(net)
+        if row < 0:
+            return
+        for net_k, g in partials:
+            self._add(row, self.structure.index(net_k), g)
+        self._add_rhs(row, bias - i_op)
+
+    def mark_limited(self) -> None:
+        self._limited = True
+
+    @property
+    def limited(self) -> bool:
+        return self._limited
+
+    def clear_limited(self) -> None:
+        self._limited = False
+
+    def matrix_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (np.asarray(self.rows, dtype=np.intp),
+                np.asarray(self.cols, dtype=np.intp),
+                np.asarray(self.vals, dtype=float))
+
+    def rhs_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return (np.asarray(self.rhs_rows, dtype=np.intp),
+                np.asarray(self.rhs_vals, dtype=float))
+
+
+class _CscPattern:
+    """Fixed CSC sparsity pattern plus COO-slot → data-slot scatter maps."""
+
+    def __init__(self, n: int, static_rows: np.ndarray, static_cols: np.ndarray,
+                 nl_rows: np.ndarray, nl_cols: np.ndarray):
+        rows = np.concatenate([static_rows, nl_rows])
+        cols = np.concatenate([static_cols, nl_cols])
+        key = cols.astype(np.int64) * n + rows.astype(np.int64)
+        uniq, inv = np.unique(key, return_inverse=True)
+        self.nnz = len(uniq)
+        self.indices = (uniq % n).astype(np.int32)
+        counts = np.bincount((uniq // n).astype(np.intp), minlength=n)
+        self.indptr = np.concatenate(
+            [[0], np.cumsum(counts)]).astype(np.int32)
+        inv = inv.ravel()
+        self.static_pos = inv[:len(static_rows)]
+        self.nl_pos = inv[len(static_rows):]
+
+
+class CompiledStamps:
+    """Per-topology compiled stamping tables.
+
+    Resolves every net and branch name to an integer index exactly once,
+    prebuilds the fixed COO index/sign arrays for linear elements, gmin
+    shunts and nonlinear devices, and evaluates all diode/BJT junctions
+    as vectorised numpy batches.  Component *values* (resistances, device
+    parameters, limiting state) are re-gathered per solve by
+    :meth:`refresh`, so parameter mutation between solves stays safe.
+    """
+
+    def __init__(self, structure: MnaStructure):
+        self.structure = structure
+        circuit = structure.circuit
+
+        self._resistors: List[Component] = []
+        self._vsources: List[Component] = []
+        self._isources: List[Component] = []
+        self._linear_fallback: List[Component] = []
+        for component in circuit:
+            kind = component.stamp_kind
+            if kind == "conductance":
+                self._resistors.append(component)
+            elif kind == "vsource":
+                self._vsources.append(component)
+            elif kind == "isource":
+                self._isources.append(component)
+            elif type(component).stamp_linear is not Component.stamp_linear:
+                self._linear_fallback.append(component)
+
+        self._diodes: List[Component] = []
+        self._bjts: List[Component] = []
+        self._nonlinear_fallback: List[Component] = []
+        for component in structure.nonlinear:
+            kind = component.device_kind
+            if kind == "diode":
+                self._diodes.append(component)
+            elif kind == "bjt":
+                self._bjts.append(component)
+            else:
+                self._nonlinear_fallback.append(component)
+
+        # --- linear patterns -----------------------------------------
+        res_a = _index_array(structure, [r.net("p") for r in self._resistors])
+        res_b = _index_array(structure, [r.net("n") for r in self._resistors])
+        (self._res_rows, self._res_cols,
+         self._res_src, self._res_sign) = _conductance_pattern(res_a, res_b)
+
+        jct_p = _index_array(structure, [p for p, _ in structure.junction_list])
+        jct_n = _index_array(structure, [n for _, n in structure.junction_list])
+        (self._gmin_rows, self._gmin_cols,
+         _, self._gmin_sign) = _conductance_pattern(jct_p, jct_n)
+
+        vs_p = _index_array(structure, [s.net("p") for s in self._vsources])
+        vs_n = _index_array(structure, [s.net("n") for s in self._vsources])
+        vs_k = np.array([structure.branch_index[s.name]
+                         for s in self._vsources], dtype=np.intp)
+        m = len(self._vsources)
+        ones = np.ones(m)
+        rows = np.concatenate([vs_p, vs_n, vs_k, vs_k])
+        cols = np.concatenate([vs_k, vs_k, vs_p, vs_n])
+        vals = np.concatenate([ones, -ones, ones, -ones])
+        keep = (rows >= 0) & (cols >= 0)
+        self._vs_rows, self._vs_cols = rows[keep], cols[keep]
+        self._vs_vals = vals[keep]
+        self._vs_rhs_rows = vs_k
+
+        is_p = _index_array(structure, [s.net("p") for s in self._isources])
+        is_n = _index_array(structure, [s.net("n") for s in self._isources])
+        (self._is_rhs_rows, self._is_rhs_src,
+         self._is_rhs_sign) = _injection_pattern(is_p, is_n)
+
+        # --- diode pattern -------------------------------------------
+        self._d_p = _index_array(structure, [d.net("p") for d in self._diodes])
+        self._d_n = _index_array(structure, [d.net("n") for d in self._diodes])
+        (self._d_rows, self._d_cols,
+         self._d_src, self._d_sign) = _conductance_pattern(self._d_p, self._d_n)
+        # Norton RHS value per diode is (g*v - i): +1 on p's row, -1 on n's.
+        (self._d_rhs_rows, self._d_rhs_src,
+         self._d_rhs_sign) = _injection_pattern(self._d_n, self._d_p)
+
+        # --- BJT pattern ---------------------------------------------
+        self._q_b = _index_array(structure, [q.net("b") for q in self._bjts])
+        self._q_c = _index_array(structure, [q.net("c") for q in self._bjts])
+        self._q_e = _index_array(structure, [q.net("e") for q in self._bjts])
+        mq = len(self._bjts)
+        # Slot-major layout matching the (9, mq) value buffer: rows are
+        # (c,c,c, b,b,b, e,e,e), cols cycle (b,c,e).
+        rows9 = np.concatenate([self._q_c] * 3 + [self._q_b] * 3
+                               + [self._q_e] * 3)
+        cols9 = np.concatenate([self._q_b, self._q_c, self._q_e] * 3)
+        keep9 = (rows9 >= 0) & (cols9 >= 0)
+        self._q_rows, self._q_cols = rows9[keep9], cols9[keep9]
+        self._q_vsel = np.nonzero(keep9)[0]
+        rows3 = np.concatenate([self._q_c, self._q_b, self._q_e])
+        keep3 = rows3 >= 0
+        self._q_rhs_rows = rows3[keep3]
+        self._q_rhs_vsel = np.nonzero(keep3)[0]
+        self._q_mat_buf = np.empty((9, mq))
+        self._q_rhs_buf = np.empty((3, mq))
+
+        # Unified nonlinear pattern (fixed across iterations/timesteps).
+        self.nl_rows = np.concatenate([self._d_rows, self._q_rows])
+        self.nl_cols = np.concatenate([self._d_cols, self._q_cols])
+        self.nl_rhs_rows = np.concatenate([self._d_rhs_rows, self._q_rhs_rows])
+
+        self._pattern_nocomp: Optional[_CscPattern] = None
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Per-solve value/state gathering
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-gather mutable device parameters and limiting state."""
+        diodes, bjts = self._diodes, self._bjts
+        self._d_isat = np.array([d.isat for d in diodes])
+        self._d_nvt = np.array([d.nvt for d in diodes])
+        self._d_vcrit = np.array([d._vcrit for d in diodes])
+        self._d_vlast = np.array([d._v_last for d in diodes])
+        self._q_isat = np.array([q.isat for q in bjts])
+        self._q_nvt = np.array([q.nvt for q in bjts])
+        self._q_vcrit = np.array([q._vcrit for q in bjts])
+        self._q_bf = np.array([q.beta_f for q in bjts])
+        self._q_br = np.array([q.beta_r for q in bjts])
+        self._q_vaf = np.array([q.vaf for q in bjts])
+        self._q_vbe_last = np.array([q._vbe_last for q in bjts])
+        self._q_vbc_last = np.array([q._vbc_last for q in bjts])
+
+    def store_states(self) -> None:
+        """Write limiting state back to the devices.
+
+        Keeps the legacy path (AC linearisation, KCL residual checks)
+        seeing exactly the state a compiled solve would have left.
+        """
+        for diode, v in zip(self._diodes, self._d_vlast):
+            diode._v_last = float(v)
+        for bjt, vbe, vbc in zip(self._bjts, self._q_vbe_last,
+                                 self._q_vbc_last):
+            bjt._vbe_last = float(vbe)
+            bjt._vbc_last = float(vbc)
+
+    # ------------------------------------------------------------------
+    # Nonlinear evaluation (vectorised)
+    # ------------------------------------------------------------------
+    def eval_nonlinear(self, x: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Evaluate all compiled devices linearised at iterate ``x``.
+
+        Returns matrix values aligned with ``nl_rows/nl_cols``, RHS
+        values aligned with ``nl_rhs_rows``, and the limited flag.
+        """
+        n = self.structure.n_unknowns
+        x_ext = np.empty(n + 1)
+        x_ext[:n] = x
+        x_ext[n] = 0.0  # ground slot, reached through index -1
+
+        limited = False
+        # Diodes -------------------------------------------------------
+        if self._diodes:
+            v_raw = x_ext[self._d_p] - x_ext[self._d_n]
+            v, lim = pnjlim_vec(v_raw, self._d_vlast, self._d_nvt,
+                                self._d_vcrit)
+            limited = bool(lim.any())
+            self._d_vlast = v
+            i, g = junction_current_vec(v, self._d_isat, self._d_nvt)
+            d_mat = g[self._d_src] * self._d_sign
+            d_rhs = (g * v - i)[self._d_rhs_src] * self._d_rhs_sign
+        else:
+            d_mat = np.empty(0)
+            d_rhs = np.empty(0)
+
+        # BJTs ---------------------------------------------------------
+        if self._bjts:
+            vb = x_ext[self._q_b]
+            vbe, lim_be = pnjlim_vec(vb - x_ext[self._q_e], self._q_vbe_last,
+                                     self._q_nvt, self._q_vcrit)
+            vbc, lim_bc = pnjlim_vec(vb - x_ext[self._q_c], self._q_vbc_last,
+                                     self._q_nvt, self._q_vcrit)
+            limited = limited or bool(lim_be.any()) or bool(lim_bc.any())
+            self._q_vbe_last = vbe
+            self._q_vbc_last = vbc
+
+            ide, gde = junction_current_vec(vbe, self._q_isat, self._q_nvt)
+            idc, gdc = junction_current_vec(vbc, self._q_isat, self._q_nvt)
+
+            vaf = self._q_vaf
+            has_early = vaf > 0
+            vaf_div = np.where(has_early, vaf, 1.0)
+            k_raw = 1.0 - vbc / vaf_div
+            # The scalar rule keeps dk = -1/vaf on the closed interval.
+            kmin, kmax = 0.05, 10.0  # Bjt.EARLY_FACTOR_MIN / _MAX
+            k = np.clip(k_raw, kmin, kmax)
+            dk = np.where((k_raw >= kmin) & (k_raw <= kmax),
+                          -1.0 / vaf_div, 0.0)
+            k = np.where(has_early, k, 1.0)
+            dk = np.where(has_early, dk, 0.0)
+
+            bf, br = self._q_bf, self._q_br
+            ic = (ide - idc) * k - idc / br
+            ib = ide / bf + idc / br
+            ie = -(ic + ib)
+            dic_dvbc = -gdc * k + (ide - idc) * dk - gdc / br
+
+            buf = self._q_mat_buf
+            buf[0] = gde * k + dic_dvbc          # (c, b)
+            buf[1] = -dic_dvbc                   # (c, c)
+            buf[2] = -gde * k                    # (c, e)
+            buf[3] = gde / bf + gdc / br         # (b, b)
+            buf[4] = -gdc / br                   # (b, c)
+            buf[5] = -gde / bf                   # (b, e)
+            buf[6] = -(buf[0] + buf[3])          # (e, b)
+            buf[7] = -(buf[1] + buf[4])          # (e, c)
+            buf[8] = -(buf[2] + buf[5])          # (e, e)
+            q_mat = buf.ravel()[self._q_vsel]
+
+            # Node voltages at the limited linearisation point.
+            vc_op = vb - vbc
+            ve_op = vb - vbe
+            rbuf = self._q_rhs_buf
+            rbuf[0] = buf[0] * vb + buf[1] * vc_op + buf[2] * ve_op - ic
+            rbuf[1] = buf[3] * vb + buf[4] * vc_op + buf[5] * ve_op - ib
+            rbuf[2] = buf[6] * vb + buf[7] * vc_op + buf[8] * ve_op - ie
+            q_rhs = rbuf.ravel()[self._q_rhs_vsel]
+        else:
+            q_mat = np.empty(0)
+            q_rhs = np.empty(0)
+
+        return (np.concatenate([d_mat, q_mat]),
+                np.concatenate([d_rhs, q_rhs]), limited)
+
+    # ------------------------------------------------------------------
+    # System assembly
+    # ------------------------------------------------------------------
+    def build_system(self, options, t: Optional[float] = None,
+                     source_scale: float = 1.0,
+                     companions=None) -> "CompiledSystem":
+        """Assemble the Newton-invariant base for one solve.
+
+        ``companions`` is either ``None``, a :class:`CompanionSet`
+        (compiled fast path) or any legacy callable taking a stamper.
+        """
+        structure = self.structure
+        n = structure.n_unknowns
+        sparse = n >= options.sparse_threshold
+        self.refresh()
+
+        rhs = np.zeros(n)
+        seg_rows = [self._res_rows, self._gmin_rows, self._vs_rows]
+        seg_cols = [self._res_cols, self._gmin_cols, self._vs_cols]
+        res_g = np.array([r.conductance for r in self._resistors])
+        seg_vals = [res_g[self._res_src] * self._res_sign,
+                    options.gmin * self._gmin_sign,
+                    self._vs_vals]
+
+        if self._vsources:
+            vs_values = np.array(
+                [s.waveform.dc() if t is None else s.waveform.value(t)
+                 for s in self._vsources])
+            np.add.at(rhs, self._vs_rhs_rows, vs_values * source_scale)
+        if self._isources:
+            is_values = np.array(
+                [s.waveform.dc() if t is None else s.waveform.value(t)
+                 for s in self._isources]) * source_scale
+            np.add.at(rhs, self._is_rhs_rows,
+                      is_values[self._is_rhs_src] * self._is_rhs_sign)
+
+        cacheable = not self._linear_fallback
+        pattern_slot = None
+        if companions is None:
+            pattern_slot = "self"
+        elif isinstance(companions, CompanionSet):
+            seg_rows.append(companions.rows)
+            seg_cols.append(companions.cols)
+            seg_vals.append(companions.matrix_values())
+            np.add.at(rhs, companions.rhs_rows, companions.rhs_values())
+            pattern_slot = "companions"
+        else:  # arbitrary legacy callable
+            collector = _FallbackCollector(structure, source_scale)
+            companions(collector)
+            rows, cols, vals = collector.matrix_arrays()
+            seg_rows.append(rows)
+            seg_cols.append(cols)
+            seg_vals.append(vals)
+            rr, rv = collector.rhs_arrays()
+            np.add.at(rhs, rr, rv)
+            cacheable = False
+
+        if self._linear_fallback:
+            collector = _FallbackCollector(structure, source_scale)
+            for component in self._linear_fallback:
+                component.stamp_linear(collector, t)
+            rows, cols, vals = collector.matrix_arrays()
+            seg_rows.append(rows)
+            seg_cols.append(cols)
+            seg_vals.append(vals)
+            rr, rv = collector.rhs_arrays()
+            np.add.at(rhs, rr, rv)
+
+        static_rows = np.concatenate(seg_rows).astype(np.intp)
+        static_cols = np.concatenate(seg_cols).astype(np.intp)
+        static_vals = np.concatenate(seg_vals)
+
+        pattern = None
+        if sparse:
+            pattern = self._sparse_pattern(
+                n, static_rows, static_cols, pattern_slot if cacheable else None,
+                companions)
+        return CompiledSystem(self, sparse, static_rows, static_cols,
+                              static_vals, rhs, pattern)
+
+    def _sparse_pattern(self, n: int, static_rows: np.ndarray,
+                        static_cols: np.ndarray, slot: Optional[str],
+                        companions) -> _CscPattern:
+        """Cached CSC pattern + scatter maps (symbolic-analysis reuse)."""
+        if slot == "self":
+            if self._pattern_nocomp is None:
+                self._pattern_nocomp = _CscPattern(
+                    n, static_rows, static_cols, self.nl_rows, self.nl_cols)
+            return self._pattern_nocomp
+        if slot == "companions":
+            cached = companions._pattern_cache
+            if cached is not None and cached[0] == id(self):
+                return cached[1]
+            pattern = _CscPattern(n, static_rows, static_cols,
+                                  self.nl_rows, self.nl_cols)
+            companions._pattern_cache = (id(self), pattern)
+            return pattern
+        return _CscPattern(n, static_rows, static_cols,
+                           self.nl_rows, self.nl_cols)
+
+
+class CompiledSystem:
+    """One solve's assembled base plus the per-iteration fast path.
+
+    ``iterate`` restamps only the nonlinear devices (vectorised), reuses
+    the frozen base matrix/RHS and — on the sparse path — the cached CSC
+    pattern, then refactorises values only.
+    """
+
+    def __init__(self, stamps: CompiledStamps, sparse: bool,
+                 static_rows: np.ndarray, static_cols: np.ndarray,
+                 static_vals: np.ndarray, rhs_base: np.ndarray,
+                 pattern: Optional[_CscPattern]):
+        self.stamps = stamps
+        self.sparse = sparse
+        self.n = stamps.structure.n_unknowns
+        self.rhs_base = rhs_base
+        self.pattern = pattern
+        if sparse:
+            data = np.zeros(pattern.nnz)
+            np.add.at(data, pattern.static_pos, static_vals)
+            self.base_data = data
+        else:
+            dense = np.zeros((self.n, self.n))
+            np.add.at(dense, (static_rows, static_cols), static_vals)
+            self.base_dense = dense
+
+    def iterate(self, x: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """One Newton step: stamp at ``x``, solve, report limiting."""
+        stamps = self.stamps
+        nl_vals, nl_rhs_vals, limited = stamps.eval_nonlinear(x)
+
+        fb = None
+        if stamps._nonlinear_fallback:
+            fb = _FallbackCollector(stamps.structure)
+            voltages = stamps.structure.voltages_from(x)
+            for component in stamps._nonlinear_fallback:
+                component.stamp_nonlinear(fb, voltages)
+            limited = limited or fb.limited
+
+        rhs = self.rhs_base.copy()
+        np.add.at(rhs, stamps.nl_rhs_rows, nl_rhs_vals)
+        if fb is not None:
+            fb_rhs_rows, fb_rhs_vals = fb.rhs_arrays()
+            np.add.at(rhs, fb_rhs_rows, fb_rhs_vals)
+
+        if self.sparse:
+            data = self.base_data.copy()
+            np.add.at(data, self.pattern.nl_pos, nl_vals)
+            matrix = csc_matrix(
+                (data, self.pattern.indices, self.pattern.indptr),
+                shape=(self.n, self.n))
+            if fb is not None:
+                rows, cols, vals = fb.matrix_arrays()
+                matrix = matrix + coo_matrix(
+                    (vals, (rows, cols)), shape=(self.n, self.n)).tocsc()
+            try:
+                lu = splu(matrix)
+                x_new = lu.solve(rhs)
+            except RuntimeError as error:
+                raise SingularMatrixError(str(error)) from None
+        else:
+            matrix = self.base_dense.copy()
+            np.add.at(matrix, (stamps.nl_rows, stamps.nl_cols), nl_vals)
+            if fb is not None:
+                rows, cols, vals = fb.matrix_arrays()
+                np.add.at(matrix, (rows, cols), vals)
+            try:
+                x_new = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as error:
+                raise SingularMatrixError(str(error)) from None
+        if not np.all(np.isfinite(x_new)):
+            raise SingularMatrixError("solution contains non-finite values")
+        return x_new, limited
+
+
 def build_base(structure: MnaStructure, options, t: Optional[float],
                source_scale: float = 1.0,
                companions: Optional[Callable[[MnaStamper], None]] = None) -> MnaStamper:
-    """Assemble the Newton-invariant part of the system.
+    """Assemble the Newton-invariant part of the system (legacy path).
 
     ``t`` is the source evaluation time (``None`` for DC).  ``companions``
     optionally stamps charge-storage companion models (transient only).

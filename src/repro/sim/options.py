@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 
@@ -39,6 +39,10 @@ class SimOptions:
     max_step_halvings: int = 10
     #: Optional clamp on per-iteration node-voltage updates (0 disables).
     max_voltage_step: float = 0.0
+    #: Use the compiled (vectorised, pattern-cached) stamping engine.
+    #: ``False`` selects the legacy per-component stamping loop — kept as
+    #: the reference implementation for equivalence tests and debugging.
+    use_compiled: bool = True
 
     def gmin_ladder(self) -> Tuple[float, ...]:
         """Decreasing gmin values ending at :attr:`gmin`."""

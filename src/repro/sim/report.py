@@ -10,10 +10,10 @@ traces for external plotting.
 from __future__ import annotations
 
 import csv
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..circuit.components import Resistor, VoltageSource
-from ..circuit.devices import Bjt, Diode, MultiEmitterBjt
+from ..circuit.devices import Bjt, Diode
 from ..circuit.netlist import Circuit
 from .dc import DcSolution
 from .transient import TransientResult

@@ -12,11 +12,12 @@ measurement function to each transient result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import itertools
 
 from ..circuit.netlist import Circuit
+from ..parallel import parallel_map
 from .options import DEFAULT_OPTIONS, SimOptions
 from .transient import TransientResult, transient
 
@@ -56,25 +57,35 @@ class SweepResult:
         return list(seen)
 
 
+def _sweep_point(task) -> SweepPoint:
+    """Module-level point worker so the process pool can pickle it."""
+    build, run, measure, params = task
+    circuit = build(**params)
+    sim_result = run(circuit, params)
+    return SweepPoint(params=params, measures=measure(sim_result, params))
+
+
 def sweep(build: Callable[..., Circuit],
           grid: Dict[str, Sequence[Any]],
           run: Callable[[Circuit, Dict[str, Any]], TransientResult],
           measure: Callable[[TransientResult, Dict[str, Any]], Dict[str, float]],
-          ) -> SweepResult:
+          *, parallel: bool = False,
+          workers: Optional[int] = None) -> SweepResult:
     """Run a full-factorial sweep.
 
     ``build(**params)`` constructs the circuit, ``run(circuit, params)``
     simulates it, ``measure(result, params)`` extracts scalar measures.
+    Points are independent by construction (each gets a fresh circuit),
+    so ``parallel=True`` fans them out over a process pool when the
+    three callables are picklable (module-level functions); closures
+    fall back to the serial path automatically.
     """
     names = list(grid)
-    result = SweepResult()
-    for combo in itertools.product(*(grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        circuit = build(**params)
-        sim_result = run(circuit, params)
-        measures = measure(sim_result, params)
-        result.points.append(SweepPoint(params=params, measures=measures))
-    return result
+    tasks = [(build, run, measure, dict(zip(names, combo)))
+             for combo in itertools.product(*(grid[name] for name in names))]
+    points = parallel_map(_sweep_point, tasks, workers=workers,
+                          serial=not parallel)
+    return SweepResult(points=list(points))
 
 
 def run_cycles(circuit: Circuit, frequency: float, cycles: float = 3.0,

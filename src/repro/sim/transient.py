@@ -23,21 +23,76 @@ import numpy as np
 from ..circuit.components import Capacitor
 from ..circuit.netlist import Circuit
 from .dc import ConvergenceError, DcSolution, NewtonStats, _newton_solve, operating_point
-from .mna import MnaStamper, MnaStructure, SingularMatrixError
+from .mna import CompanionSet, MnaStructure, SingularMatrixError, structure_for
 from .options import DEFAULT_OPTIONS, SimOptions
 from .waveform import Waveform
 
 
 @dataclass
 class _DynamicElement:
-    """One charge-storage element tracked by the integrator."""
+    """One charge-storage element declaration (state lives in arrays)."""
 
     key: str
     net_p: str
     net_n: str
     capacitance: float
-    voltage: float = 0.0
-    current: float = 0.0
+
+
+class _CompanionState:
+    """Vectorised integrator state for all charge-storage elements.
+
+    Wraps a :class:`~repro.sim.mna.CompanionSet` (the fixed stamp
+    pattern, resolved to integer indices once per transient) plus the
+    per-element capacitance/voltage/current arrays, so each timestep
+    computes every companion ``(geq, ieq)`` with two vectorised
+    expressions instead of a per-element Python loop.
+    """
+
+    def __init__(self, structure: MnaStructure,
+                 elements: Sequence[_DynamicElement]):
+        self.keys = [e.key for e in elements]
+        pairs = [(e.net_p, e.net_n) for e in elements]
+        self.cap = np.array([e.capacitance for e in elements])
+        self.voltage = np.zeros(len(elements))
+        self.current = np.zeros(len(elements))
+        self.set = CompanionSet(structure, pairs)
+        self._idx_p = np.array([structure.index(p) for p, _ in pairs],
+                               dtype=np.intp)
+        self._idx_n = np.array([structure.index(n) for _, n in pairs],
+                               dtype=np.intp)
+        self._n = structure.n_unknowns
+
+    def pair_voltages(self, x: np.ndarray) -> np.ndarray:
+        """Voltage across each element at state ``x``."""
+        x_ext = np.empty(self._n + 1)
+        x_ext[:self._n] = x
+        x_ext[self._n] = 0.0  # ground slot, reached through index -1
+        return x_ext[self._idx_p] - x_ext[self._idx_n]
+
+    def prepare(self, h: float, trapezoidal: bool
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """Install this step's companion values; returns ``(geq, ieq)``."""
+        if trapezoidal:
+            geq = 2.0 * self.cap / h
+            ieq = -(geq * self.voltage + self.current)
+        else:
+            geq = self.cap / h
+            ieq = -geq * self.voltage
+        self.set.set_values(geq, ieq)
+        return geq, ieq
+
+    def commit(self, x_new: np.ndarray, geq: np.ndarray,
+               ieq: np.ndarray) -> None:
+        """Update element voltages/currents from an accepted solve."""
+        v = self.pair_voltages(x_new)
+        self.current = geq * v + ieq
+        self.voltage = v
+
+    def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.voltage.copy(), self.current.copy()
+
+    def restore(self, saved: Tuple[np.ndarray, np.ndarray]) -> None:
+        self.voltage, self.current = saved
 
 
 class TransientResult:
@@ -98,6 +153,22 @@ def _collect_dynamic(circuit: Circuit) -> List[_DynamicElement]:
     return elements
 
 
+def _initial_element_voltages(state: _CompanionState, circuit: Circuit,
+                              x: np.ndarray, use_ic: bool) -> None:
+    """Seed element voltages from ``x`` (and cap ``ic`` attributes)."""
+    state.voltage = state.pair_voltages(x)
+    state.current = np.zeros_like(state.voltage)
+    if not use_ic:
+        return
+    ic_by_key: Dict[str, float] = {}
+    for component in circuit.components_of_type(Capacitor):
+        if component.ic is not None:
+            ic_by_key[f"{component.name}:c"] = float(component.ic)
+    for i, key in enumerate(state.keys):
+        if key in ic_by_key:
+            state.voltage[i] = ic_by_key[key]
+
+
 def _time_grid(t_stop: float, dt: float,
                circuit: Circuit) -> Tuple[np.ndarray, set]:
     """Uniform grid plus source-waveform breakpoints.
@@ -148,44 +219,34 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     if t_stop <= 0 or dt <= 0:
         raise ValueError("t_stop and dt must be positive")
 
-    structure = MnaStructure(circuit)
+    structure = structure_for(circuit)
     elements = _collect_dynamic(circuit)
+    state = _CompanionState(structure, elements)
 
     if use_ic:
         x = np.zeros(structure.n_unknowns)
-        voltages = structure.voltages_from(x)
-        ic_by_key: Dict[str, float] = {}
-        for component in circuit.components_of_type(Capacitor):
-            if component.ic is not None:
-                ic_by_key[f"{component.name}:c"] = float(component.ic)
-        for element in elements:
-            element.voltage = ic_by_key.get(
-                element.key,
-                voltages(element.net_p) - voltages(element.net_n))
-            element.current = 0.0
+        _initial_element_voltages(state, circuit, x, use_ic=True)
     else:
         solution = initial if initial is not None else operating_point(
             circuit, options)
         if solution.structure.circuit is not circuit:
             raise ValueError("initial solution computed for another circuit")
         x = solution.x.copy()
-        voltages = structure.voltages_from(x)
-        for element in elements:
-            element.voltage = voltages(element.net_p) - voltages(element.net_n)
-            element.current = 0.0
+        _initial_element_voltages(state, circuit, x, use_ic=False)
 
     stats = NewtonStats()
     if cap_overrides:
-        by_component = {e.key.split(":", 1)[0]: e for e in elements}
+        by_component = {key.split(":", 1)[0]: i
+                        for i, key in enumerate(state.keys)}
         for name, voltage in cap_overrides.items():
             if name not in by_component:
                 raise KeyError(f"no dynamic element on component {name!r}")
-            by_component[name].voltage = float(voltage)
+            state.voltage[by_component[name]] = float(voltage)
         # Make the stored t=0 state consistent with the overridden
         # capacitor voltages: one vanishingly short backward-Euler step
         # lets the overridden caps act as voltage sources while every
         # other node settles around them.
-        x = _advance(structure, elements, options, x, 0.0, dt * 1e-6,
+        x = _advance(structure, state, options, x, 0.0, dt * 1e-6,
                      trapezoidal=False, stats=stats,
                      halvings_left=options.max_step_halvings)
 
@@ -196,7 +257,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     restart = True  # first step, and every step leaving a breakpoint
     for step_index in range(1, len(times)):
         t0, t1 = float(times[step_index - 1]), float(times[step_index])
-        x = _advance(structure, elements, options, x, t0, t1,
+        x = _advance(structure, state, options, x, t0, t1,
                      use_trap and not restart, stats,
                      options.max_step_halvings)
         states[step_index] = x
@@ -204,45 +265,28 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     return TransientResult(structure, times, states)
 
 
-def _advance(structure: MnaStructure, elements: Sequence[_DynamicElement],
+def _advance(structure: MnaStructure, state: _CompanionState,
              options: SimOptions, x: np.ndarray, t0: float, t1: float,
              trapezoidal: bool, stats: NewtonStats, halvings_left: int) -> np.ndarray:
     """Advance the state from ``t0`` to ``t1``, halving on NR failure."""
     h = t1 - t0
-    saved = [(e.voltage, e.current) for e in elements]
-
-    def companions(stamper: MnaStamper) -> None:
-        for element in elements:
-            if trapezoidal:
-                geq = 2.0 * element.capacitance / h
-                ieq = -(geq * element.voltage + element.current)
-            else:
-                geq = element.capacitance / h
-                ieq = -geq * element.voltage
-            element._geq = geq  # consumed right after the solve
-            element._ieq = ieq
-            stamper.conductance(element.net_p, element.net_n, geq)
-            stamper.current_source(element.net_p, element.net_n, ieq)
+    saved = state.snapshot()
+    geq, ieq = state.prepare(h, trapezoidal)
 
     try:
         x_new = _newton_solve(structure, options, x, t=t1,
-                              companions=companions, stats=stats)
+                              companions=state.set, stats=stats)
     except (ConvergenceError, SingularMatrixError):
         if halvings_left <= 0:
             raise ConvergenceError(
                 f"transient step at t={t1:.6g}s failed to converge even "
                 f"after {options.max_step_halvings} halvings")
-        for element, (v, i) in zip(elements, saved):
-            element.voltage, element.current = v, i
+        state.restore(saved)
         t_mid = 0.5 * (t0 + t1)
-        x_mid = _advance(structure, elements, options, x, t0, t_mid,
+        x_mid = _advance(structure, state, options, x, t0, t_mid,
                          trapezoidal, stats, halvings_left - 1)
-        return _advance(structure, elements, options, x_mid, t_mid, t1,
+        return _advance(structure, state, options, x_mid, t_mid, t1,
                         trapezoidal, stats, halvings_left - 1)
 
-    voltages = structure.voltages_from(x_new)
-    for element in elements:
-        v = voltages(element.net_p) - voltages(element.net_n)
-        element.current = element._geq * v + element._ieq
-        element.voltage = v
+    state.commit(x_new, geq, ieq)
     return x_new

@@ -14,7 +14,7 @@ Unknowns propagate pessimistically through the cell evaluators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx

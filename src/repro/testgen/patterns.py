@@ -8,7 +8,7 @@ deterministic (seeded LFSRs) so experiments and tests are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 #: Maximal-length LFSR feedback taps (Fibonacci form, 1-indexed).
 LFSR_TAPS: Dict[int, Sequence[int]] = {

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .logic import LogicNetwork, Value
+from .logic import LogicNetwork
 from .patterns import exhaustive_vectors, random_vectors
 
 #: Exhaustive search is used up to this many primary inputs.

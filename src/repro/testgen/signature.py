@@ -14,7 +14,7 @@ gate-level network and returns the signature of a pattern run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .logic import LogicNetwork, Value

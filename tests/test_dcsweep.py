@@ -7,7 +7,7 @@ from repro.circuit import Circuit, Resistor, VoltageSource
 from repro.circuit.subcircuit import instantiate
 from repro.cml import NOMINAL, VCS_NET, VGND_NET, buffer_cell
 from repro.dft import attach_comparator, ensure_vtest
-from repro.sim import ConvergenceError, dc_sweep, hysteresis_sweep
+from repro.sim import dc_sweep, hysteresis_sweep
 
 TECH = NOMINAL
 

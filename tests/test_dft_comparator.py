@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import Circuit, Dc, Pwl, VoltageSource
+from repro.circuit import Circuit, Pwl, VoltageSource
 from repro.cml import NOMINAL, buffer_chain
 from repro.dft import (
     ComparatorConfig,
@@ -12,7 +12,6 @@ from repro.dft import (
     ensure_vtest,
     group_pairs,
     instrument_chain,
-    instrument_pairs,
 )
 from repro.faults import Pipe, inject
 from repro.sim import hysteresis_thresholds, operating_point, transient

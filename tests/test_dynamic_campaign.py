@@ -20,7 +20,6 @@ from repro.faults import (
     run_campaign,
     run_dynamic_campaign,
 )
-from repro.sim import operating_point
 from repro.testgen import full_adder, synthesize
 
 TECH = NOMINAL

@@ -106,7 +106,6 @@ class TestPrbsStimulus:
                                           abs=1e-9)
 
     def test_prbs_drives_chain(self):
-        from repro.cml.chain import add_differential_source
 
         chain = buffer_chain(TECH, n_stages=3, frequency=100e6,
                              stimulus=differential_prbs(TECH, 5e-9,

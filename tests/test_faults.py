@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.circuit import Capacitor, Resistor
 from repro.cml import NOMINAL, buffer_chain
 from repro.faults import (
     Bridge,

@@ -11,7 +11,6 @@ from repro.testgen import (
     mux_select_tree,
     observability_gain,
     random_vectors,
-    ripple_adder,
     shift_register,
 )
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.circuit import Capacitor, Resistor
+from repro.circuit import Resistor
 from repro.cml import NOMINAL, buffer_chain, measure_frequency, ring_oscillator
 from repro.analysis.variation import (
     chain_delay,

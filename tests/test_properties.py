@@ -11,7 +11,6 @@ These attack the foundations with randomly generated structures:
 * the logic simulator must be monotone in the 3-valued information order.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -27,12 +26,7 @@ from repro.circuit import (
 from repro.faults import Bridge, Pipe, inject, injected_names, strip_faults
 from repro.sim import kcl_residuals, operating_point
 from repro.sim.waveform import Waveform
-from repro.testgen import (
-    Lfsr,
-    LogicNetwork,
-    full_adder,
-    random_vectors,
-)
+from repro.testgen import Lfsr, full_adder, random_vectors
 from repro.units import format_value, parse_value
 
 COMMON = dict(deadline=None,

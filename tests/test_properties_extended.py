@@ -21,11 +21,7 @@ from repro.circuit import (
 )
 from repro.sim import operating_point
 from repro.sim.waveform import Waveform
-from repro.testgen import (
-    Misr,
-    full_adder,
-    random_vectors,
-)
+from repro.testgen import Misr, full_adder
 
 COMMON = dict(deadline=None,
               suppress_health_check=[HealthCheck.too_slow])

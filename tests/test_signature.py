@@ -3,7 +3,6 @@
 import pytest
 
 from repro.testgen import (
-    BistResult,
     Misr,
     bist_session,
     full_adder,

@@ -16,7 +16,7 @@ from repro.circuit import (
     THERMAL_VOLTAGE,
     VoltageSource,
 )
-from repro.sim import ConvergenceError, kcl_residuals, operating_point
+from repro.sim import kcl_residuals, operating_point
 
 
 class TestLinearCircuits:

@@ -1,7 +1,6 @@
 """Coverage of the smaller engine pieces: options, sweep driver,
 reporting helpers, transient step-halving and source edge cases."""
 
-import math
 
 import pytest
 

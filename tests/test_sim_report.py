@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit import Bjt, Circuit, Diode, Resistor, VoltageSource
+from repro.circuit import Circuit, Diode, Resistor, VoltageSource
 from repro.cml import NOMINAL, buffer_chain
 from repro.sim import (
     bjt_region,

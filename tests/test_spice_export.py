@@ -1,6 +1,5 @@
 """Tests for the SPICE netlist exporter."""
 
-import pytest
 
 from repro.circuit import (
     Bjt,

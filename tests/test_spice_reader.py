@@ -1,6 +1,5 @@
 """Tests for the SPICE deck parser, including write→read round trips."""
 
-import math
 
 import pytest
 

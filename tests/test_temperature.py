@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import Bjt, Circuit, Resistor, VoltageSource
+from repro.circuit import Bjt, Circuit
 from repro.circuit.devices import (
     TNOM_C,
     isat_temperature_factor,

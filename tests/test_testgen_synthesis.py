@@ -7,7 +7,7 @@ with the analog engine and compared against the logic simulator.
 
 import pytest
 
-from repro.circuit import Circuit, VoltageSource
+from repro.circuit import VoltageSource
 from repro.cml import NOMINAL
 from repro.dft import instrument_pairs
 from repro.faults import Pipe, inject

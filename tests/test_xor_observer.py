@@ -4,7 +4,7 @@ import pytest
 
 from repro.cml import NOMINAL, buffer_chain
 from repro.dft import attach_xor_observer, build_shared_monitor, observer_verdict
-from repro.faults import Bridge, Pipe, TerminalShort, inject
+from repro.faults import Bridge, Pipe, inject
 from repro.sim import operating_point, run_cycles
 
 TECH = NOMINAL
