@@ -1,6 +1,6 @@
-"""Performance harness: compiled engine + warm-started campaigns.
+"""Performance harness: compiled engine, adaptive stepping, delta solves.
 
-Times the two workloads the tentpole optimisation targets and writes
+Times the workloads the performance work targets and writes
 ``BENCH_sim.json`` at the repository root so future changes have a perf
 trajectory to compare against:
 
@@ -8,9 +8,16 @@ trajectory to compare against:
   values) against the three-oracle setup on a 3-stage chain with a
   shared detector.  Baseline: legacy per-component stamping, cold
   starts.  Optimized: compiled stamping + fault-free warm starts.
+* **campaign_delta** — the same catalog, warm-started compiled campaign
+  as the baseline, against the low-rank fault-delta path (shared
+  fault-free factorization, no per-defect injection/compilation).  The
+  section also records that both campaigns return identical verdicts.
 * **transient** — an 8-stage buffer chain driven at 1 GHz for 2 ns.
   Baseline: legacy stamping.  Optimized: compiled stamping with the
   cached companion pattern.
+* **transient_adaptive** — the same chain, compiled fixed-step as the
+  baseline, against the LTE-controlled adaptive stepper; accuracy is
+  pinned against a 4x-oversampled fixed-step reference.
 
 Both baseline and optimized run in this same process (same BLAS, same
 interpreter), so the reported speedups are apples-to-apples.  Run with::
@@ -25,6 +32,8 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+
+import numpy as np
 
 from repro.cml import NOMINAL, buffer_chain
 from repro.dft import build_shared_monitor
@@ -41,9 +50,13 @@ from repro.sim.transient import transient
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 OUTPUT = REPO_ROOT / "BENCH_sim.json"
 
-#: Acceptance targets for this optimisation pass.
+#: Acceptance targets for the optimisation passes.
 CAMPAIGN_TARGET = 3.0
+CAMPAIGN_DELTA_TARGET = 1.5
 TRANSIENT_TARGET = 2.0
+TRANSIENT_ADAPTIVE_TARGET = 2.0
+#: Whole-trace accuracy bound for the adaptive stepper, volts.
+ADAPTIVE_MAX_ERROR_V = 1e-3
 
 
 def _best_of(func, repeats: int = 3) -> float:
@@ -57,7 +70,7 @@ def _best_of(func, repeats: int = 3) -> float:
     return best
 
 
-def bench_campaign() -> dict:
+def _campaign_bench():
     chain = buffer_chain(NOMINAL, n_stages=3, frequency=100e6)
     monitor = build_shared_monitor(chain.circuit, chain.output_nets,
                                    tech=NOMINAL)
@@ -70,6 +83,11 @@ def bench_campaign() -> dict:
         chain.circuit,
         kinds=("pipe", "terminal-short", "resistor-short", "resistor-open"),
         pipe_resistances=(2e3, 4e3)))
+    return chain, oracles, defects
+
+
+def bench_campaign() -> dict:
+    chain, oracles, defects = _campaign_bench()
 
     legacy = SimOptions(use_compiled=False)
     baseline = _best_of(lambda: run_campaign(
@@ -93,6 +111,34 @@ def bench_campaign() -> dict:
     }
 
 
+def bench_campaign_delta() -> dict:
+    """Warm-started campaign vs the low-rank fault-delta path."""
+    chain, oracles, defects = _campaign_bench()
+
+    baseline = _best_of(lambda: run_campaign(chain.circuit, defects, oracles))
+    optimized = _best_of(lambda: run_campaign(
+        chain.circuit, defects, oracles, delta=True))
+
+    warm = run_campaign(chain.circuit, defects, oracles)
+    delta = run_campaign(chain.circuit, defects, oracles, delta=True)
+    identical = all(
+        w.verdicts == d.verdicts and w.converged == d.converged
+        for w, d in zip(warm.records, delta.records))
+    return {
+        "defects": len(defects),
+        "baseline_s": round(baseline, 4),
+        "optimized_s": round(optimized, 4),
+        "speedup": round(baseline / optimized, 2),
+        "target_speedup": CAMPAIGN_DELTA_TARGET,
+        "verdicts_identical": identical,
+        "solver_counts": delta.solver_counts(),
+        "woodbury_fallbacks": delta.woodbury_fallbacks,
+        "n_factorizations": sum(r.n_factorizations for r in delta.records),
+        "n_factorizations_baseline": sum(
+            r.n_factorizations for r in warm.records),
+    }
+
+
 def bench_transient() -> dict:
     chain = buffer_chain(NOMINAL, n_stages=8, frequency=1e9)
     circuit = chain.circuit
@@ -113,19 +159,77 @@ def bench_transient() -> dict:
     }
 
 
+def bench_transient_adaptive() -> dict:
+    """Compiled fixed-step vs the LTE-controlled adaptive stepper.
+
+    Accuracy is measured at the adaptive stepper's own time points
+    against a 4x-oversampled fixed-step reference (linear interpolation
+    of the dense reference trace), over every node of the chain.
+    """
+    chain = buffer_chain(NOMINAL, n_stages=8, frequency=1e9)
+    circuit = chain.circuit
+    t_stop, dt = 2e-9, 2e-12
+
+    baseline = _best_of(lambda: transient(
+        circuit, t_stop, dt, SimOptions()), repeats=2)
+    optimized = _best_of(lambda: transient(
+        circuit, t_stop, dt, SimOptions(adaptive_step=True)), repeats=2)
+
+    adaptive = transient(circuit, t_stop, dt, SimOptions(adaptive_step=True))
+    reference = transient(circuit, t_stop, dt / 4, SimOptions())
+    t_ad = np.asarray(adaptive.times)
+    t_ref = np.asarray(reference.times)
+    max_error = 0.0
+    for net in adaptive.structure.net_index:
+        v_ad = np.asarray(adaptive.wave(net).values)
+        v_ref = np.interp(t_ad, t_ref, np.asarray(reference.wave(net).values))
+        max_error = max(max_error, float(np.max(np.abs(v_ad - v_ref))))
+
+    fixed = transient(circuit, t_stop, dt, SimOptions())
+    stats = adaptive.stats
+    return {
+        "n_stages": 8,
+        "t_stop_s": t_stop,
+        "dt_s": dt,
+        "baseline_s": round(baseline, 4),
+        "optimized_s": round(optimized, 4),
+        "speedup": round(baseline / optimized, 2),
+        "target_speedup": TRANSIENT_ADAPTIVE_TARGET,
+        "timepoints_fixed": len(fixed.times),
+        "timepoints_adaptive": len(adaptive.times),
+        "rejected_steps": stats.n_rejected_steps if stats else None,
+        "n_factorizations": stats.n_factorizations if stats else None,
+        "n_reuses": stats.n_reuses if stats else None,
+        "max_error_v_vs_4x_reference": round(max_error, 6),
+        "max_error_target_v": ADAPTIVE_MAX_ERROR_V,
+        "accuracy_ok": max_error <= ADAPTIVE_MAX_ERROR_V,
+    }
+
+
 def main() -> int:
     results = {
         "description": (
-            "Simulation-core performance: baseline = legacy per-component "
-            "stamping (use_compiled=False, cold starts); optimized = "
-            "compiled vectorised stamping, cached sparsity patterns and "
-            "warm-started fault campaigns.  Both measured in one process."),
+            "Simulation-core performance: compiled vectorised stamping, "
+            "warm-started fault campaigns, LTE-controlled adaptive "
+            "transient stepping and low-rank (Woodbury/replay) fault-delta "
+            "solves.  Each section reports baseline vs optimized wall "
+            "time, measured best-of-N in one process."),
         "campaign": bench_campaign(),
+        "campaign_delta": bench_campaign_delta(),
         "transient": bench_transient(),
+        "transient_adaptive": bench_transient_adaptive(),
     }
-    results["targets_met"] = (
-        results["campaign"]["speedup"] >= CAMPAIGN_TARGET
-        and results["transient"]["speedup"] >= TRANSIENT_TARGET)
+    ok = True
+    for name, section in results.items():
+        if not isinstance(section, dict) or "speedup" not in section:
+            continue
+        if section["speedup"] < section["target_speedup"]:
+            ok = False
+        if section.get("accuracy_ok") is False:
+            ok = False
+        if section.get("verdicts_identical") is False:
+            ok = False
+    results["targets_met"] = ok
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     print(f"\n[written to {OUTPUT}]")

@@ -15,6 +15,7 @@ transient experiments in :mod:`repro.analysis`.
 from __future__ import annotations
 
 import functools
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,8 +23,9 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..parallel import parallel_map
-from ..sim.dc import ConvergenceError, DcSolution, operating_point
-from ..sim.mna import structure_for
+from ..sim.dc import (ConvergenceError, DcSolution, DeltaContext, NewtonStats,
+                      delta_solve, operating_point)
+from ..sim.mna import SingularMatrixError, structure_for
 from ..sim.options import DEFAULT_OPTIONS, SimOptions
 from .defects import Defect
 from .injector import inject
@@ -118,6 +120,17 @@ class FaultRecord:
     #: the solve never converged) — the campaign benchmarks read this to
     #: show what warm starting buys.
     newton_iterations: int = 0
+    #: How the operating point was obtained: ``"full"`` (conventional
+    #: inject-and-solve), ``"delta"`` (low-rank solve on the shared
+    #: fault-free compiled system: bitwise replay on dense, Woodbury
+    #: chord on sparse), or ``"delta-fallback"`` (delta solve failed to
+    #: converge; re-solved conventionally).
+    solver: str = "full"
+    #: Factorizations performed / reused for this defect's solve (the
+    #: delta path's headline economy: most defects need zero of their
+    #: own factorizations).
+    n_factorizations: int = 0
+    n_reuses: int = 0
 
     def caught_by(self) -> List[str]:
         return [name for name, verdict in self.verdicts.items()
@@ -154,6 +167,18 @@ class CampaignResult:
         """Defects no oracle caught."""
         return [r for r in self.records
                 if r.converged and not r.caught_by()]
+
+    def solver_counts(self) -> Dict[str, int]:
+        """Records per solver kind (``full``/``delta``/``delta-fallback``)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.solver] = counts.get(record.solver, 0) + 1
+        return counts
+
+    @property
+    def woodbury_fallbacks(self) -> int:
+        """Delta solves that had to fall back to a conventional solve."""
+        return sum(1 for r in self.records if r.solver == "delta-fallback")
 
     def format(self) -> str:
         from ..analysis.reporting import format_table
@@ -212,13 +237,75 @@ def _solve_defect(defect: Defect, *, circuit: Circuit,
                            converged=False)
     verdicts = {oracle.name: oracle.judge(solution) for oracle in oracles}
     return FaultRecord(defect=defect, verdicts=verdicts,
-                       newton_iterations=solution.stats.iterations)
+                       newton_iterations=solution.stats.iterations,
+                       n_factorizations=solution.stats.n_factorizations,
+                       n_reuses=solution.stats.n_reuses)
+
+
+#: Per-process cache of delta contexts, keyed on the (weakly held) MNA
+#: structure of the fault-free circuit.  Worker processes rebuild the
+#: context from the pickled circuit once per chunk; the build is a pure
+#: function of (circuit, options, x_ref), so serial and parallel
+#: campaigns perform identical arithmetic.
+_DELTA_CONTEXTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _delta_context(circuit: Circuit, options: SimOptions,
+                   x_ref: np.ndarray) -> DeltaContext:
+    structure = structure_for(circuit)
+    entry = _DELTA_CONTEXTS.get(structure)
+    if entry is not None:
+        cached_options, cached_x, context = entry
+        if cached_options == options and np.array_equal(cached_x, x_ref):
+            return context
+    context = DeltaContext.build(circuit, options, x_ref)
+    _DELTA_CONTEXTS[structure] = (options, x_ref.copy(), context)
+    return context
+
+
+def _solve_defect_delta(defect: Defect, *, circuit: Circuit,
+                        oracles: Sequence[Oracle], options: SimOptions,
+                        warm: Optional[Tuple[Dict[str, float],
+                                             Dict[str, float]]],
+                        x_ref: np.ndarray) -> FaultRecord:
+    """Campaign unit of work on the low-rank fast path.
+
+    Defects expressible as added conductances between existing nets are
+    solved on the shared fault-free compiled system (bitwise replay on
+    dense, Woodbury chords on sparse); the rest — and any delta solve
+    that fails to converge — go through the conventional inject-and-solve
+    path.
+    """
+    deltas = defect.delta_conductances(circuit)
+    if deltas is None:
+        return _solve_defect(defect, circuit=circuit, oracles=oracles,
+                             options=options, warm=warm)
+    context = _delta_context(circuit, options, x_ref)
+    index_pairs = [(context.structure.index(p), context.structure.index(n))
+                   for p, n, _ in deltas]
+    conductances = [g for _, _, g in deltas]
+    stats = NewtonStats(strategy="woodbury")
+    try:
+        x = delta_solve(context, index_pairs, conductances, options, stats)
+    except (ConvergenceError, SingularMatrixError):
+        record = _solve_defect(defect, circuit=circuit, oracles=oracles,
+                               options=options, warm=warm)
+        record.solver = "delta-fallback"
+        return record
+    solution = DcSolution(context.structure, x, stats)
+    verdicts = {oracle.name: oracle.judge(solution) for oracle in oracles}
+    return FaultRecord(defect=defect, verdicts=verdicts,
+                       newton_iterations=stats.iterations,
+                       solver="delta",
+                       n_factorizations=stats.n_factorizations,
+                       n_reuses=stats.n_reuses)
 
 
 def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                  oracles: Sequence[Oracle], *,
                  options: SimOptions = DEFAULT_OPTIONS,
                  warm_start: bool = True,
+                 delta: bool = False,
                  parallel: bool = False,
                  workers: Optional[int] = None,
                  chunk_size: Optional[int] = None) -> CampaignResult:
@@ -231,6 +318,14 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
     ``warm_start`` seeds every faulty solve from the fault-free
     operating point (mapped by net name, see :func:`_warm_start_vector`),
     which typically halves the Newton iteration count per defect.
+    ``delta=True`` additionally routes every low-rank defect (added
+    resistors between existing nets: pipes, shorts, bridges) through the
+    fault-delta fast path — the shared fault-free compiled system instead
+    of per-defect injection and compilation (see
+    :func:`repro.sim.dc.delta_solve`: bitwise replay on dense systems,
+    Sherman-Morrison-Woodbury chords on sparse); topology-changing
+    defects (opens) and non-converging delta solves fall back to the
+    conventional path, counted in :attr:`CampaignResult.woodbury_fallbacks`.
     ``parallel=True`` fans the per-defect solves out over a process pool
     (``workers`` processes, work split into ``chunk_size`` pieces — see
     :func:`repro.parallel.parallel_map`); results are returned in defect
@@ -246,9 +341,14 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                 {name: reference.branch_current(name)
                  for name in reference.structure.branch_index})
 
-    solve = functools.partial(_solve_defect, circuit=circuit,
-                              oracles=tuple(oracles), options=options,
-                              warm=warm)
+    if delta:
+        solve = functools.partial(_solve_defect_delta, circuit=circuit,
+                                  oracles=tuple(oracles), options=options,
+                                  warm=warm, x_ref=reference.x.copy())
+    else:
+        solve = functools.partial(_solve_defect, circuit=circuit,
+                                  oracles=tuple(oracles), options=options,
+                                  warm=warm)
     records = parallel_map(solve, list(defects), workers=workers,
                            chunk_size=chunk_size, serial=not parallel)
     return CampaignResult(records=list(records),

@@ -20,7 +20,7 @@ can identify and strip them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, List
+from typing import ClassVar, List, Optional, Tuple
 
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.devices import Bjt, MultiEmitterBjt
@@ -42,6 +42,21 @@ class Defect:
     def apply(self, circuit: Circuit) -> None:
         """Mutate ``circuit`` to contain this defect."""
         raise NotImplementedError
+
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        """Low-rank view of this defect on ``circuit``, if one exists.
+
+        A defect that only *adds* resistors between nets that already
+        exist is a rank-k update ``U diag(g) U^T`` of the fault-free MNA
+        matrix; this returns its ``(net_p, net_n, g)`` terms so the
+        campaign can solve it through the Sherman-Morrison-Woodbury
+        identity without re-compiling the topology.  Defects that split
+        nets or remove elements return ``None`` (the campaign injects and
+        solves them conventionally).  Implementations perform the same
+        validation as :meth:`apply` and raise the same errors.
+        """
+        return None
 
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
@@ -88,6 +103,15 @@ class Pipe(Defect):
             _unique_name(circuit, f"FAULT_PIPE_{self.transistor}"),
             device.net("c"), device.net(emitter), self.resistance))
 
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        device = circuit[self.transistor]
+        if not isinstance(device, (Bjt, MultiEmitterBjt)):
+            raise TypeError(f"{self.transistor} is not a bipolar transistor")
+        emitter = "e" if isinstance(device, Bjt) else "e1"
+        return [(device.net("c"), device.net(emitter),
+                 1.0 / self.resistance)]
+
     def describe(self) -> str:
         return f"pipe {self.resistance:g}Ohm on {self.transistor} C-E"
 
@@ -118,6 +142,17 @@ class TerminalShort(Defect):
             _unique_name(circuit, f"FAULT_SHORT_{self.component}"),
             net_a, net_b, self.resistance))
 
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        device = circuit[self.component]
+        net_a = device.net(self.terminal_a)
+        net_b = device.net(self.terminal_b)
+        if net_a == net_b:
+            raise ValueError(
+                f"{self.component}: terminals {self.terminal_a}/"
+                f"{self.terminal_b} share a net; short is a no-op")
+        return [(net_a, net_b, 1.0 / self.resistance)]
+
     def describe(self) -> str:
         return (f"short {self.component} {self.terminal_a}-"
                 f"{self.terminal_b} ({self.resistance:g}Ohm)")
@@ -143,6 +178,16 @@ class Bridge(Defect):
         circuit.add(Resistor(
             _unique_name(circuit, f"FAULT_BRIDGE_{self.net_a}_{self.net_b}"),
             self.net_a, self.net_b, self.resistance))
+
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        nets = circuit.nets()
+        for net in (self.net_a, self.net_b):
+            if net not in nets:
+                raise KeyError(f"bridge endpoint {net!r} not in circuit")
+        if self.net_a == self.net_b:
+            raise ValueError("bridge endpoints must differ")
+        return [(self.net_a, self.net_b, 1.0 / self.resistance)]
 
     def describe(self) -> str:
         return f"bridge {self.net_a}~{self.net_b} ({self.resistance:g}Ohm)"
@@ -192,6 +237,14 @@ class ResistorShort(Defect):
         circuit.add(Resistor(
             _unique_name(circuit, f"FAULT_RSHORT_{self.resistor}"),
             component.net("p"), component.net("n"), self.resistance))
+
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        component = circuit[self.resistor]
+        if not isinstance(component, Resistor):
+            raise TypeError(f"{self.resistor} is not a resistor")
+        return [(component.net("p"), component.net("n"),
+                 1.0 / self.resistance)]
 
     def describe(self) -> str:
         return f"short across {self.resistor}"

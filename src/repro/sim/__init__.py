@@ -20,6 +20,7 @@ from .report import (
     load_waveforms_csv,
     op_report,
     save_waveforms_csv,
+    solver_stats_report,
     total_supply_power,
 )
 from .sweep import SweepPoint, SweepResult, run_cycles, sweep
@@ -43,6 +44,7 @@ __all__ = [
     "hysteresis_sweep",
     "op_report",
     "bjt_region",
+    "solver_stats_report",
     "total_supply_power",
     "save_waveforms_csv",
     "load_waveforms_csv",

@@ -11,12 +11,13 @@ fault-injected topologies (hard shorts across junctions etc.).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
-from .mna import (MnaStamper, MnaStructure, SingularMatrixError, build_base,
+from .mna import (FactorCache, FaultedSystem, LowRankSolver, MnaStamper,
+                  MnaStructure, SingularMatrixError, build_base,
                   stamp_nonlinear, structure_for)
 from .options import DEFAULT_OPTIONS, SimOptions
 
@@ -33,6 +34,16 @@ class NewtonStats:
     gmin_steps: int = 0
     source_steps: int = 0
     strategy: str = "newton"
+    #: Matrix factorizations performed vs factorization reuses (the
+    #: modified-Newton LU-reuse policy; plain Newton factorizes every
+    #: iteration, so without reuse ``n_factorizations == iterations``).
+    n_factorizations: int = 0
+    n_reuses: int = 0
+    #: Adaptive-transient steps rejected by the LTE controller (or by a
+    #: Newton failure forcing a step cut) and retried at a smaller step.
+    n_rejected_steps: int = 0
+    #: Fault-campaign delta solves that fell back to a full solve.
+    woodbury_fallbacks: int = 0
 
 
 class DcSolution:
@@ -87,11 +98,22 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
                   source_scale: float = 1.0,
                   gmin: Optional[float] = None,
                   companions: Optional[Callable[[MnaStamper], None]] = None,
-                  stats: Optional[NewtonStats] = None) -> np.ndarray:
+                  stats: Optional[NewtonStats] = None,
+                  factor_cache: Optional[FactorCache] = None) -> np.ndarray:
     """Run one Newton-Raphson solve; raises ConvergenceError on failure.
 
     The returned vector satisfies the per-unknown tolerance tests of
     ``options`` on an iteration where no junction limiting occurred.
+
+    ``factor_cache`` (compiled path only) selects the modified-Newton
+    iteration: steps are computed through the cache's LU factorization —
+    possibly inherited from an earlier iteration or a previous transient
+    step — and the Jacobian is refactorized only when the cache does not
+    structurally fit this system or the residual-reduction rate stalls
+    below ``options.reuse_stall_ratio``.  Steps taken with a stale
+    factorization must pass a tighter convergence test
+    (``options.reuse_accept_factor``) to bound the extra error of the
+    linearly-converging tail.
     """
     local = options if gmin is None else _with_gmin(options, gmin)
     n_nets = structure.n_nets
@@ -99,7 +121,17 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
     if options.use_compiled:
         stamps = structure.compiled()
         system = stamps.build_system(local, t, source_scale, companions)
+        # Factorization reuse pays only where factorization dominates the
+        # iteration cost: the sparse path.  On small dense systems the
+        # extra chord iterations (each a full device re-evaluation) cost
+        # more than the O(n^3)-but-tiny factorizations they save, so
+        # "auto" callers fall through to plain Newton there.
+        use_cache = factor_cache is not None and (
+            system.sparse or options.newton_reuse == "always")
         try:
+            if use_cache:
+                return _modified_newton(system, options, x, n_nets, stats,
+                                        factor_cache)
             for iteration in range(options.max_nr_iterations):
                 x_new, limited = system.iterate(x)
                 if options.max_voltage_step > 0:
@@ -109,6 +141,7 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
                     x_new[:n_nets] = x[:n_nets] + delta
                 if stats is not None:
                     stats.iterations += 1
+                    stats.n_factorizations += 1
                 if not limited and _converged(x, x_new, n_nets, options):
                     return x_new
                 x = x_new
@@ -131,6 +164,7 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
                 x_new[:n_nets] = x[:n_nets] + delta
             if stats is not None:
                 stats.iterations += 1
+                stats.n_factorizations += 1
             if not stamper.limited and _converged(x, x_new, n_nets, options):
                 return x_new
             x = x_new
@@ -140,13 +174,289 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
     )
 
 
+def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
+                     stats: Optional[NewtonStats],
+                     cache: FactorCache) -> np.ndarray:
+    """Newton iteration through a reusable LU factorization.
+
+    Each iteration assembles the Jacobian/RHS at the current iterate (the
+    cheap, vectorised part), evaluates the true residual ``b - A x`` and
+    steps through the cached factorization.  With a fresh factorization
+    this is exactly the plain Newton step (``x + A^{-1}(b - A x) ==
+    A^{-1} b``); with a stale one it is a chord iteration that converges
+    to the same fixed point at a linear rate, trading factorizations for
+    cheap back-substitutions.
+    """
+    token = system.factor_token
+    prev_rnorm: Optional[float] = None
+    for iteration in range(options.max_nr_iterations):
+        matrix, rhs, limited = system.assemble(x)
+        residual = rhs - matrix @ x
+        rnorm = float(np.max(np.abs(residual))) if residual.size else 0.0
+        fresh = False
+        if not cache.matches(token):
+            cache.factorize(matrix, token, system.sparse)
+            fresh = True
+        elif (prev_rnorm is not None
+              and rnorm > options.reuse_stall_ratio * prev_rnorm):
+            cache.factorize(matrix, token, system.sparse)
+            fresh = True
+        else:
+            cache.n_reuses += 1
+        prev_rnorm = rnorm
+        dx = cache.solve(residual)
+        if options.max_voltage_step > 0:
+            np.clip(dx[:n_nets], -options.max_voltage_step,
+                    options.max_voltage_step, out=dx[:n_nets])
+        x_new = x + dx
+        if not np.all(np.isfinite(x_new)):
+            raise SingularMatrixError("solution contains non-finite values")
+        if stats is not None:
+            stats.iterations += 1
+            if fresh:
+                stats.n_factorizations += 1
+            else:
+                stats.n_reuses += 1
+        accept = 1.0 if fresh else options.reuse_accept_factor
+        if not limited and _converged(x, x_new, n_nets, options, accept):
+            return x_new
+        x = x_new
+    raise ConvergenceError(
+        f"modified Newton did not converge in {options.max_nr_iterations} "
+        "iterations"
+    )
+
+
+class DeltaContext:
+    """Shared fault-free state for a campaign's low-rank delta solves.
+
+    Built once per (circuit, options, reference solution): the compiled
+    fault-free system, one factorization of its Jacobian at the reference
+    operating point, and a snapshot of the junction-limiting state so
+    every defect's solve replays from an identical starting point
+    regardless of what was solved before it (serial/parallel identity).
+    """
+
+    def __init__(self, structure: MnaStructure, system, cache: FactorCache,
+                 x_ref: np.ndarray, reset_limits, reference_limits):
+        self.structure = structure
+        self.system = system
+        self.cache = cache
+        self.x_ref = x_ref
+        self._reset_limits = reset_limits
+        self._reference_limits = reference_limits
+
+    @classmethod
+    def build(cls, circuit: Circuit, options: SimOptions,
+              x_ref: np.ndarray) -> "DeltaContext":
+        structure = structure_for(circuit)
+        structure.reset_device_states()
+        stamps = structure.compiled()
+        system = stamps.build_system(options)
+        # Two limiting-state snapshots.  The *reset* snapshot is taken
+        # before any assembly: it is exactly the state a freshly compiled
+        # injected circuit starts from (operating_point resets device
+        # states before plain Newton), so the replay solver can reproduce
+        # the conventional path's trajectory bit for bit.  The *reference*
+        # snapshot is taken after two assembly passes settle the junction
+        # memory at x_ref — that matrix is the chord operator every
+        # defect's Woodbury solve shares.
+        reset_limits = stamps.snapshot_limits()
+        system.assemble(x_ref)
+        matrix, _, _ = system.assemble(x_ref)
+        cache = FactorCache()
+        cache.factorize(matrix, system.factor_token, system.sparse)
+        return cls(structure, system, cache, x_ref.copy(),
+                   reset_limits, stamps.snapshot_limits())
+
+    def restore_reset(self) -> None:
+        """Restore the pristine (pre-assembly) junction-limiting state."""
+        self.system.stamps.restore_limits(self._reset_limits)
+
+    def restore_reference(self) -> None:
+        """Restore the settled-at-``x_ref`` junction-limiting state."""
+        self.system.stamps.restore_limits(self._reference_limits)
+
+
+#: Chord-phase pathology guards: a per-step update this large (in the
+#: MNA unit system: volts / amperes, circuit scale ~2) means the iterate
+#: left any physically meaningful region, and this many local
+#: refactorizations means the reference operator is not going to carry
+#: the solve home.  Both escalate to the plain-Newton phase.
+_DELTA_STEP_BLOWUP = 1e3
+_DELTA_MAX_LOCAL_FACTORIZATIONS = 8
+
+
+def delta_solve(context: DeltaContext,
+                index_pairs: Sequence[Tuple[int, int]],
+                conductances: Sequence[float], options: SimOptions,
+                stats: Optional[NewtonStats] = None) -> np.ndarray:
+    """Solve one low-rank-faulted operating point without re-compiling.
+
+    Both strategies work on the :class:`~repro.sim.mna.FaultedSystem`
+    view of the *base* circuit (the faulty Jacobian is the fault-free one
+    plus ``U diag(g) U^T``), so no per-defect injection, topology rebuild
+    or restamping-table compilation ever happens:
+
+    * **Replay Newton** (dense default) — plain Newton from the reference
+      point with a fresh factorization every iteration.  On small dense
+      systems factorization is far cheaper than device evaluation, so
+      chord iterations do not pay (the same finding that gates transient
+      LU reuse to the sparse path); the win here is eliminating the
+      per-defect deepcopy/inject/compile overhead.  The replay is
+      engineered to be *bit-for-bit identical* to the conventional
+      inject-and-solve trajectory — same starting state, same matrix
+      accumulation order, same linear solver — so campaign verdicts
+      cannot drift even on bistable faulty circuits.
+    * **Woodbury chord** (sparse path, or ``newton_reuse="always"``) —
+      Newton steps through the shared reference factorization with a
+      Sherman-Morrison-Woodbury correction; zero per-defect
+      factorizations while it converges.  A stalled residual
+      refactorizes the true faulty Jacobian locally; pathological chords
+      (step blow-up, repeated stalls) escalate to the replay solver.
+
+    Raises :class:`ConvergenceError` / :class:`SingularMatrixError` when
+    everything fails; the campaign then falls back to a conventional
+    inject-and-solve (which brings the gmin/source-stepping homotopies).
+
+    ``options.delta_residual_tol > 0`` adds a hard KCL-residual
+    acceptance gate (amperes), which tests use to pin the chord solution
+    near the full solve.
+    """
+    faulted = FaultedSystem(context.system, index_pairs, conductances)
+    use_chord = options.newton_reuse != "never" and (
+        context.system.sparse or options.newton_reuse == "always")
+    if use_chord:
+        try:
+            return _delta_chord(context, faulted, index_pairs, conductances,
+                                options, stats)
+        except (ConvergenceError, SingularMatrixError):
+            pass
+    return _delta_replay(context, faulted, options, stats)
+
+
+def _delta_residual(faulted: FaultedSystem, matrix, rhs: np.ndarray,
+                    x: np.ndarray) -> Tuple[np.ndarray, float]:
+    residual = rhs - (matrix.dot(x) if faulted.sparse else matrix @ x)
+    rnorm = float(np.max(np.abs(residual))) if residual.size else 0.0
+    return residual, rnorm
+
+
+def _delta_chord(context: DeltaContext, faulted: FaultedSystem,
+                 index_pairs: Sequence[Tuple[int, int]],
+                 conductances: Sequence[float], options: SimOptions,
+                 stats: Optional[NewtonStats]) -> np.ndarray:
+    """Woodbury chords through the shared reference factorization."""
+    context.restore_reference()
+    solver = LowRankSolver(context.cache, faulted.n, index_pairs,
+                           conductances)
+    n_nets = context.structure.n_nets
+    res_tol = options.delta_residual_tol
+    x = context.x_ref.copy()
+    operator: Optional[FactorCache] = None
+    local_factorizations = 0
+    prev_rnorm: Optional[float] = None
+    pending = False
+    for iteration in range(options.delta_max_iterations):
+        matrix, rhs, limited = faulted.assemble(x)
+        residual, rnorm = _delta_residual(faulted, matrix, rhs, x)
+        if pending and rnorm <= res_tol:
+            return x
+        if not np.isfinite(rnorm):
+            raise SingularMatrixError("residual contains non-finite values")
+        if (prev_rnorm is not None
+                and rnorm > options.reuse_stall_ratio * prev_rnorm):
+            # Stalled: refactorize the true faulty Jacobian at the
+            # current iterate and continue chording through it.
+            if local_factorizations >= _DELTA_MAX_LOCAL_FACTORIZATIONS:
+                raise ConvergenceError("chord phase keeps stalling")
+            if operator is None:
+                operator = FactorCache()
+            operator.factorize(matrix, faulted.factor_token, faulted.sparse)
+            local_factorizations += 1
+            if stats is not None:
+                stats.n_factorizations += 1
+        elif stats is not None:
+            stats.n_reuses += 1
+        prev_rnorm = rnorm
+        dx = (solver if operator is None else operator).solve(residual)
+        if options.max_voltage_step > 0:
+            np.clip(dx[:n_nets], -options.max_voltage_step,
+                    options.max_voltage_step, out=dx[:n_nets])
+        x_new = x + dx
+        if not np.all(np.isfinite(x_new)):
+            raise SingularMatrixError("solution contains non-finite values")
+        if float(np.max(np.abs(dx))) > _DELTA_STEP_BLOWUP:
+            raise ConvergenceError("chord step blow-up")
+        if stats is not None:
+            stats.iterations += 1
+        pending = (not limited
+                   and _converged(x, x_new, n_nets, options,
+                                  options.delta_accept_factor))
+        if pending and res_tol <= 0:
+            return x_new
+        x = x_new
+    raise ConvergenceError(
+        f"delta chord did not converge in {options.delta_max_iterations} "
+        "iterations"
+    )
+
+
+def _delta_replay(context: DeltaContext, faulted: FaultedSystem,
+                  options: SimOptions,
+                  stats: Optional[NewtonStats]) -> np.ndarray:
+    """Plain Newton on the faulted view — a bitwise conventional replay.
+
+    Every ingredient matches the full inject-and-solve path's first
+    strategy exactly: the junction-limiting state starts from the reset
+    snapshot (``operating_point`` resets device states), the faulted
+    matrix accumulates in the same element order a compiled injected
+    circuit would use, and each step is the same direct
+    ``solve_assembled`` call.  Identical floating-point inputs through
+    identical operations give identical iterates — so the verdicts of a
+    delta campaign provably match the conventional campaign's, including
+    on bistable faulty circuits where solvers with merely
+    tolerance-level agreement can land in different operating points.
+    """
+    context.restore_reset()
+    n_nets = context.structure.n_nets
+    res_tol = options.delta_residual_tol
+    x = context.x_ref.copy()
+    pending = False
+    for iteration in range(options.max_nr_iterations):
+        matrix, rhs, limited = faulted.assemble(x)
+        if pending:
+            _, rnorm = _delta_residual(faulted, matrix, rhs, x)
+            if rnorm <= res_tol:
+                return x
+        x_new = faulted.solve_assembled(matrix, rhs)
+        if options.max_voltage_step > 0:
+            delta = x_new[:n_nets] - x[:n_nets]
+            np.clip(delta, -options.max_voltage_step,
+                    options.max_voltage_step, out=delta)
+            x_new[:n_nets] = x[:n_nets] + delta
+        if stats is not None:
+            stats.iterations += 1
+            stats.n_factorizations += 1
+        pending = not limited and _converged(x, x_new, n_nets, options)
+        if pending and res_tol <= 0:
+            return x_new
+        x = x_new
+    raise ConvergenceError(
+        f"delta replay Newton did not converge in "
+        f"{options.max_nr_iterations} iterations"
+    )
+
+
 def _converged(x_old: np.ndarray, x_new: np.ndarray, n_nets: int,
-               options: SimOptions) -> bool:
+               options: SimOptions, tol_factor: float = 1.0) -> bool:
     delta = np.abs(x_new - x_old)
     scale = np.maximum(np.abs(x_new), np.abs(x_old))
     tol = options.reltol * scale
     tol[:n_nets] += options.vntol
     tol[n_nets:] += options.abstol
+    if tol_factor != 1.0:
+        tol *= tol_factor
     return bool(np.all(delta <= tol))
 
 
@@ -165,10 +475,14 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     structure = structure_for(circuit)
     stats = NewtonStats()
     x0 = initial if initial is not None else np.zeros(structure.n_unknowns)
+    cache = (FactorCache()
+             if options.use_compiled and options.reuse_enabled(False)
+             else None)
 
     structure.reset_device_states()
     try:
-        x = _newton_solve(structure, options, x0, stats=stats)
+        x = _newton_solve(structure, options, x0, stats=stats,
+                          factor_cache=cache)
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError):
         pass
@@ -179,7 +493,8 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     try:
         for gmin in options.gmin_ladder():
             structure.reset_device_states()
-            x = _newton_solve(structure, options, x, gmin=gmin, stats=stats)
+            x = _newton_solve(structure, options, x, gmin=gmin, stats=stats,
+                              factor_cache=cache)
             stats.gmin_steps += 1
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError):
@@ -193,7 +508,7 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
             scale = step / options.source_steps
             structure.reset_device_states()
             x = _newton_solve(structure, options, x, source_scale=scale,
-                              stats=stats)
+                              stats=stats, factor_cache=cache)
             stats.source_steps += 1
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError) as error:

@@ -531,6 +531,10 @@ class CompiledStamps:
         # --- linear patterns -----------------------------------------
         res_a = _index_array(structure, [r.net("p") for r in self._resistors])
         res_b = _index_array(structure, [r.net("n") for r in self._resistors])
+        # Kept for FaultedSystem, which rebuilds this segment with fault
+        # conductances appended in the exact order an injected circuit
+        # (fault resistor added last) would stamp them.
+        self._res_net_a, self._res_net_b = res_a, res_b
         (self._res_rows, self._res_cols,
          self._res_src, self._res_sign) = _conductance_pattern(res_a, res_b)
 
@@ -613,6 +617,25 @@ class CompiledStamps:
         self._q_vaf = np.array([q.vaf for q in bjts])
         self._q_vbe_last = np.array([q._vbe_last for q in bjts])
         self._q_vbc_last = np.array([q._vbc_last for q in bjts])
+
+    def snapshot_limits(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copies of the junction-limiting state arrays.
+
+        Paired with :meth:`restore_limits` so a caller replaying many
+        solves from one reference point (the fault-delta campaign) can
+        start every solve from an identical, history-independent state —
+        a requirement for serial/parallel result identity.
+        """
+        return (self._d_vlast.copy(), self._q_vbe_last.copy(),
+                self._q_vbc_last.copy())
+
+    def restore_limits(self, saved: Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]) -> None:
+        """Restore a :meth:`snapshot_limits` state."""
+        d_vlast, q_vbe, q_vbc = saved
+        self._d_vlast = d_vlast.copy()
+        self._q_vbe_last = q_vbe.copy()
+        self._q_vbc_last = q_vbc.copy()
 
     def store_states(self) -> None:
         """Write limiting state back to the devices.
@@ -793,8 +816,17 @@ class CompiledStamps:
             pattern = self._sparse_pattern(
                 n, static_rows, static_cols, pattern_slot if cacheable else None,
                 companions)
-        return CompiledSystem(self, sparse, static_rows, static_cols,
-                              static_vals, rhs, pattern)
+        system = CompiledSystem(self, sparse, static_rows, static_cols,
+                                static_vals, rhs, pattern)
+        # FaultedSystem replays this build with extra fault conductances
+        # spliced into the resistor segment: it needs the per-solve
+        # resistor values and the non-resistor static segments verbatim so
+        # its base matrix accumulates in the same order (hence bitwise
+        # equal to) a compiled build of the injected circuit.
+        system.res_g = res_g
+        system.static_tail = (list(seg_rows[1:]), list(seg_cols[1:]),
+                              list(seg_vals[1:]))
+        return system
 
     def _sparse_pattern(self, n: int, static_rows: np.ndarray,
                         static_cols: np.ndarray, slot: Optional[str],
@@ -820,9 +852,11 @@ class CompiledStamps:
 class CompiledSystem:
     """One solve's assembled base plus the per-iteration fast path.
 
-    ``iterate`` restamps only the nonlinear devices (vectorised), reuses
+    ``assemble`` restamps only the nonlinear devices (vectorised), reuses
     the frozen base matrix/RHS and — on the sparse path — the cached CSC
-    pattern, then refactorises values only.
+    pattern; ``iterate`` solves the assembled system directly, and the
+    modified-Newton reuse path in :mod:`repro.sim.dc` pairs ``assemble``
+    with a :class:`FactorCache` instead.
     """
 
     def __init__(self, stamps: CompiledStamps, sparse: bool,
@@ -843,8 +877,30 @@ class CompiledSystem:
             np.add.at(dense, (static_rows, static_cols), static_vals)
             self.base_dense = dense
 
-    def iterate(self, x: np.ndarray) -> Tuple[np.ndarray, bool]:
-        """One Newton step: stamp at ``x``, solve, report limiting."""
+    @property
+    def factor_token(self) -> Tuple:
+        """Identity of this system's sparsity/shape for LU-reuse checks.
+
+        Two systems with the same token have structurally interchangeable
+        matrices, so a factorization of one is a usable modified-Newton
+        operator for the other (the reuse policy still refactorizes when
+        the residual reduction stalls).
+        """
+        if self.sparse:
+            return ("sparse", self.n, id(self.pattern))
+        return ("dense", self.n, id(self.stamps))
+
+    def assemble(self, x: np.ndarray, base_override: Optional[np.ndarray] = None):
+        """Assemble the system linearised at iterate ``x``.
+
+        Returns ``(matrix, rhs, limited)`` where ``matrix`` is a fresh
+        dense ndarray or CSC matrix (safe for the caller to mutate) and
+        ``limited`` reports junction limiting at this iterate.
+
+        ``base_override`` (dense path only) substitutes a different static
+        base matrix — :class:`FaultedSystem` passes its fault-overlaid
+        base so the nonlinear restamping stays byte-for-byte the same.
+        """
         stamps = self.stamps
         nl_vals, nl_rhs_vals, limited = stamps.eval_nonlinear(x)
 
@@ -872,24 +928,199 @@ class CompiledSystem:
                 rows, cols, vals = fb.matrix_arrays()
                 matrix = matrix + coo_matrix(
                     (vals, (rows, cols)), shape=(self.n, self.n)).tocsc()
+        else:
+            base = self.base_dense if base_override is None else base_override
+            matrix = base.copy()
+            np.add.at(matrix, (stamps.nl_rows, stamps.nl_cols), nl_vals)
+            if fb is not None:
+                rows, cols, vals = fb.matrix_arrays()
+                np.add.at(matrix, (rows, cols), vals)
+        return matrix, rhs, limited
+
+    def solve_assembled(self, matrix, rhs: np.ndarray) -> np.ndarray:
+        """Direct solve of an assembled system (one factorization)."""
+        if self.sparse:
             try:
                 lu = splu(matrix)
                 x_new = lu.solve(rhs)
             except RuntimeError as error:
                 raise SingularMatrixError(str(error)) from None
         else:
-            matrix = self.base_dense.copy()
-            np.add.at(matrix, (stamps.nl_rows, stamps.nl_cols), nl_vals)
-            if fb is not None:
-                rows, cols, vals = fb.matrix_arrays()
-                np.add.at(matrix, (rows, cols), vals)
             try:
                 x_new = np.linalg.solve(matrix, rhs)
             except np.linalg.LinAlgError as error:
                 raise SingularMatrixError(str(error)) from None
         if not np.all(np.isfinite(x_new)):
             raise SingularMatrixError("solution contains non-finite values")
-        return x_new, limited
+        return x_new
+
+    def iterate(self, x: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """One Newton step: stamp at ``x``, solve, report limiting."""
+        matrix, rhs, limited = self.assemble(x)
+        return self.solve_assembled(matrix, rhs), limited
+
+
+class FactorCache:
+    """A reusable LU factorization for modified-Newton iterations.
+
+    Holds the most recent factorization (dense ``scipy.linalg.lu_factor``
+    or sparse ``splu``) together with a :attr:`CompiledSystem.factor_token`
+    identifying what it factored.  The Newton loop reuses it as a direct
+    solve operator across iterations — and across transient timesteps —
+    refactorizing only when the residual-reduction rate stalls.  Counters
+    record the factorize/reuse split for observability.
+    """
+
+    def __init__(self):
+        self._solve = None
+        self._token: Optional[Tuple] = None
+        self.n_factorizations = 0
+        self.n_reuses = 0
+
+    def matches(self, token: Tuple) -> bool:
+        """True when the held factorization structurally fits ``token``."""
+        return self._solve is not None and self._token == token
+
+    def factorize(self, matrix, token: Tuple, sparse: bool) -> None:
+        """Factor ``matrix`` and make it the active solve operator."""
+        if sparse:
+            try:
+                lu = splu(matrix)
+            except RuntimeError as error:
+                raise SingularMatrixError(str(error)) from None
+            self._solve = lu.solve
+        else:
+            from scipy.linalg import lu_factor, lu_solve
+            try:
+                lu = lu_factor(matrix, check_finite=False)
+            except ValueError as error:
+                raise SingularMatrixError(str(error)) from None
+            self._solve = lambda rhs: lu_solve(lu, rhs, check_finite=False)
+        self._token = token
+        self.n_factorizations += 1
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve against the held factorization (2-d RHS supported)."""
+        if self._solve is None:
+            raise RuntimeError("FactorCache.solve before factorize")
+        return self._solve(rhs)
+
+
+class LowRankSolver:
+    """Sherman–Morrison–Woodbury solve of ``(A0 + U diag(g) U^T) y = r``.
+
+    ``base`` is a :class:`FactorCache` holding a factorization of the
+    fault-free matrix ``A0``; each column of ``U`` is ``e_p - e_n`` for a
+    fault conductance ``g`` stamped between two existing nets (ground
+    rows dropped).  Used by the fault campaign to solve every defect's
+    Newton iterations through one shared factorization.
+    """
+
+    def __init__(self, base: FactorCache, n: int,
+                 index_pairs: Sequence[Tuple[int, int]],
+                 conductances: Sequence[float]):
+        self.base = base
+        self.pairs = list(index_pairs)
+        g = np.asarray(conductances, dtype=float)
+        k = len(self.pairs)
+        u = np.zeros((n, k))
+        for j, (p, q) in enumerate(self.pairs):
+            if p >= 0:
+                u[p, j] += 1.0
+            if q >= 0:
+                u[q, j] -= 1.0
+        self.u = u
+        z = base.solve(u)
+        self.z = z if z.ndim == 2 else z.reshape(n, k)
+        self.capacitance = np.diag(1.0 / g) + u.T @ self.z
+
+    def solve(self, r: np.ndarray) -> np.ndarray:
+        y = self.base.solve(r)
+        try:
+            w = np.linalg.solve(self.capacitance, self.u.T @ y)
+        except np.linalg.LinAlgError as error:
+            raise SingularMatrixError(str(error)) from None
+        return y - self.z @ w
+
+
+class FaultedSystem:
+    """A :class:`CompiledSystem` view with fault conductances overlaid.
+
+    Wraps the fault-free compiled system of the *base* circuit and adds
+    ``g_j`` between the net index pairs of each low-rank defect at
+    assembly time, so Newton residuals evaluated through it are exact for
+    the faulty circuit without ever re-compiling a faulty topology.
+    Exposes the same ``assemble``/``factor_token``/``sparse`` surface the
+    modified-Newton loop consumes.
+    """
+
+    def __init__(self, system: CompiledSystem,
+                 index_pairs: Sequence[Tuple[int, int]],
+                 conductances: Sequence[float]):
+        self.system = system
+        self.sparse = system.sparse
+        self.n = system.n
+        self.pairs = list(index_pairs)
+        self.conductances = [float(g) for g in conductances]
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for (p, q), g in zip(self.pairs, self.conductances):
+            for i, j, v in ((p, p, g), (q, q, g), (p, q, -g), (q, p, -g)):
+                if i >= 0 and j >= 0:
+                    rows.append(i)
+                    cols.append(j)
+                    vals.append(v)
+        self._rows = np.asarray(rows, dtype=np.intp)
+        self._cols = np.asarray(cols, dtype=np.intp)
+        self._vals = np.asarray(vals)
+        self._base_faulted = None if self.sparse else self._exact_dense_base()
+
+    def _exact_dense_base(self) -> np.ndarray:
+        """Dense static base, bitwise equal to an injected circuit's.
+
+        A fault resistor added to the circuit lands at the end of the
+        resistor list, so a compiled build of the injected circuit stamps
+        its conductance *inside* the resistor segment, before the gmin and
+        source segments.  Re-running the same slot-major pattern over the
+        extended resistor arrays — then replaying the stored non-resistor
+        segments verbatim — reproduces that accumulation order exactly,
+        which keeps every floating-point sum (and therefore every Newton
+        iterate of the replay solver) identical to the conventional
+        inject-and-solve path.
+        """
+        system = self.system
+        stamps = system.stamps
+        fault_a = np.asarray([p for p, _ in self.pairs], dtype=np.intp)
+        fault_b = np.asarray([q for _, q in self.pairs], dtype=np.intp)
+        idx_a = np.concatenate([stamps._res_net_a, fault_a])
+        idx_b = np.concatenate([stamps._res_net_b, fault_b])
+        rows, cols, src, sign = _conductance_pattern(idx_a, idx_b)
+        g_all = np.concatenate([system.res_g, np.asarray(self.conductances)])
+        base = np.zeros((self.n, self.n))
+        np.add.at(base, (rows, cols), g_all[src] * sign)
+        for seg_r, seg_c, seg_v in zip(*system.static_tail):
+            np.add.at(base, (seg_r, seg_c), seg_v)
+        return base
+
+    @property
+    def factor_token(self) -> Tuple:
+        return (("faulted", tuple(self.pairs), tuple(self.conductances))
+                + self.system.factor_token)
+
+    def assemble(self, x: np.ndarray):
+        """Assemble the *faulty* system linearised at ``x``."""
+        if self._base_faulted is not None:
+            return self.system.assemble(x, base_override=self._base_faulted)
+        matrix, rhs, limited = self.system.assemble(x)
+        matrix = matrix + coo_matrix(
+            (self._vals, (self._rows, self._cols)),
+            shape=(self.n, self.n)).tocsc()
+        return matrix, rhs, limited
+
+    def solve_assembled(self, matrix, rhs: np.ndarray) -> np.ndarray:
+        """Direct solve, same routine the full path's iterate uses."""
+        return self.system.solve_assembled(matrix, rhs)
 
 
 def build_base(structure: MnaStructure, options, t: Optional[float],

@@ -93,6 +93,29 @@ def op_report(circuit: Circuit, solution: DcSolution,
     return "\n\n".join(sections)
 
 
+def solver_stats_report(stats) -> str:
+    """One-line summary of a solve's :class:`~repro.sim.dc.NewtonStats`.
+
+    Surfaces the modified-Newton factorization economy (how many
+    iterations refactorized vs reused an LU), the adaptive stepper's
+    rejected steps and the campaign's Woodbury fallbacks — the counters
+    behind the performance numbers in BENCH_sim.json.
+    """
+    parts = [f"strategy={stats.strategy}",
+             f"iterations={stats.iterations}",
+             f"factorizations={stats.n_factorizations}",
+             f"reuses={stats.n_reuses}"]
+    if stats.n_rejected_steps:
+        parts.append(f"rejected_steps={stats.n_rejected_steps}")
+    if stats.woodbury_fallbacks:
+        parts.append(f"woodbury_fallbacks={stats.woodbury_fallbacks}")
+    if stats.gmin_steps:
+        parts.append(f"gmin_steps={stats.gmin_steps}")
+    if stats.source_steps:
+        parts.append(f"source_steps={stats.source_steps}")
+    return " ".join(parts)
+
+
 def total_supply_power(circuit: Circuit, solution: DcSolution) -> float:
     """Total power delivered by all voltage sources, watts."""
     total = 0.0

@@ -1,10 +1,21 @@
 """Transient analysis with trapezoidal / backward-Euler companion models.
 
-The engine walks a fixed time grid (plus waveform breakpoints), solving the
-nonlinear companion system by Newton-Raphson at each point.  When a step
-fails to converge it is recursively halved up to
-``options.max_step_halvings`` times; results are still reported on the
-requested grid.
+Two integration modes share the companion-model machinery:
+
+* the **fixed-grid** engine (the default, and the reference behaviour)
+  walks a uniform grid plus waveform breakpoints, solving the nonlinear
+  companion system by Newton-Raphson at each point.  When a step fails
+  to converge it is recursively halved up to
+  ``options.max_step_halvings`` times; results are still reported on the
+  requested grid.
+* the **adaptive** engine (``SimOptions(adaptive_step=True)``) drives
+  the step size from a local-truncation-error estimate: each trapezoidal
+  step is compared against a polynomial predictor extrapolated through
+  the last accepted points, steps whose weighted LTE exceeds tolerance
+  are rejected and retried smaller, and accepted steps grow/shrink
+  within the ``step_grow_limit``/``step_shrink_limit`` clamps.  Source
+  waveform breakpoints are landed on exactly and integration restarts
+  with backward Euler after each one, mirroring the fixed-grid engine.
 
 Charge storage is declared by components through ``dynamic_elements()``
 (see :class:`repro.circuit.netlist.Component`), so explicit capacitors and
@@ -23,7 +34,8 @@ import numpy as np
 from ..circuit.components import Capacitor
 from ..circuit.netlist import Circuit
 from .dc import ConvergenceError, DcSolution, NewtonStats, _newton_solve, operating_point
-from .mna import CompanionSet, MnaStructure, SingularMatrixError, structure_for
+from .mna import (CompanionSet, FactorCache, MnaStructure,
+                  SingularMatrixError, structure_for)
 from .options import DEFAULT_OPTIONS, SimOptions
 from .waveform import Waveform
 
@@ -103,10 +115,13 @@ class TransientResult:
     """
 
     def __init__(self, structure: MnaStructure, times: np.ndarray,
-                 states: np.ndarray):
+                 states: np.ndarray, stats: Optional[NewtonStats] = None):
         self.structure = structure
         self.times = times
         self.states = states
+        #: Solver bookkeeping for the whole run (iterations,
+        #: factorizations vs reuses, rejected adaptive steps).
+        self.stats = stats if stats is not None else NewtonStats()
 
     def wave(self, net: str) -> Waveform:
         """Voltage waveform of ``net``."""
@@ -250,6 +265,13 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                      trapezoidal=False, stats=stats,
                      halvings_left=options.max_step_halvings)
 
+    if options.adaptive_step:
+        return _transient_adaptive(circuit, structure, state, options, x,
+                                   stats, t_stop, dt)
+
+    cache = (FactorCache()
+             if options.use_compiled and options.reuse_enabled(False)
+             else None)
     times, break_times = _time_grid(t_stop, dt, circuit)
     states = np.empty((len(times), structure.n_unknowns))
     states[0] = x
@@ -259,15 +281,16 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         t0, t1 = float(times[step_index - 1]), float(times[step_index])
         x = _advance(structure, state, options, x, t0, t1,
                      use_trap and not restart, stats,
-                     options.max_step_halvings)
+                     options.max_step_halvings, cache)
         states[step_index] = x
         restart = t1 in break_times
-    return TransientResult(structure, times, states)
+    return TransientResult(structure, times, states, stats)
 
 
 def _advance(structure: MnaStructure, state: _CompanionState,
              options: SimOptions, x: np.ndarray, t0: float, t1: float,
-             trapezoidal: bool, stats: NewtonStats, halvings_left: int) -> np.ndarray:
+             trapezoidal: bool, stats: NewtonStats, halvings_left: int,
+             cache: Optional[FactorCache] = None) -> np.ndarray:
     """Advance the state from ``t0`` to ``t1``, halving on NR failure."""
     h = t1 - t0
     saved = state.snapshot()
@@ -275,7 +298,8 @@ def _advance(structure: MnaStructure, state: _CompanionState,
 
     try:
         x_new = _newton_solve(structure, options, x, t=t1,
-                              companions=state.set, stats=stats)
+                              companions=state.set, stats=stats,
+                              factor_cache=cache)
     except (ConvergenceError, SingularMatrixError):
         if halvings_left <= 0:
             raise ConvergenceError(
@@ -284,9 +308,179 @@ def _advance(structure: MnaStructure, state: _CompanionState,
         state.restore(saved)
         t_mid = 0.5 * (t0 + t1)
         x_mid = _advance(structure, state, options, x, t0, t_mid,
-                         trapezoidal, stats, halvings_left - 1)
+                         trapezoidal, stats, halvings_left - 1, cache)
         return _advance(structure, state, options, x_mid, t_mid, t1,
-                        trapezoidal, stats, halvings_left - 1)
+                        trapezoidal, stats, halvings_left - 1, cache)
 
     state.commit(x_new, geq, ieq)
     return x_new
+
+
+# ----------------------------------------------------------------------
+# Adaptive (LTE-controlled) integration
+# ----------------------------------------------------------------------
+
+def _source_breakpoints(circuit: Circuit, t_stop: float) -> List[float]:
+    """Sorted unique waveform corner times strictly inside (0, t_stop)."""
+    points: List[float] = []
+    for component in circuit:
+        waveform = getattr(component, "waveform", None)
+        if waveform is not None:
+            points.extend(waveform.breakpoints(t_stop))
+    return sorted({p for p in points if 0.0 < p < t_stop})
+
+
+def _predict(history: Sequence[Tuple[float, np.ndarray]],
+             t: float) -> np.ndarray:
+    """Quadratic extrapolation through the last three accepted points."""
+    (t2, x2), (t1, x1), (t0, x0) = history[-3:]
+    d01 = (x0 - x1) / (t0 - t1)
+    d12 = (x1 - x2) / (t1 - t2)
+    d012 = (d01 - d12) / (t0 - t2)
+    return x0 + (t - t0) * (d01 + (t - t1) * d012)
+
+
+def _lte_error(x_new: np.ndarray, x_pred: np.ndarray, x_old: np.ndarray,
+               h: float, h1: float, h2: float, n_nets: int,
+               options: SimOptions) -> float:
+    """Weighted max-norm LTE estimate of a trapezoidal step.
+
+    The corrector/predictor difference is ``x'''`` times the sum of the
+    trapezoidal LTE coefficient ``h^3/12`` and the quadratic-extrapolation
+    coefficient ``h (h+h1) (h+h1+h2) / 6``; scaling by the trapezoidal
+    share isolates the integrator's own truncation error.  Returns the
+    largest node-voltage error relative to the acceptance weight (> 1
+    means reject), with the SPICE ``trtol`` fudge already applied.
+    """
+    c_trap = h ** 3 / 12.0
+    c_pred = h * (h + h1) * (h + h1 + h2) / 6.0
+    lte = np.abs(x_new[:n_nets] - x_pred[:n_nets]) * (
+        c_trap / (c_trap + c_pred))
+    weight = (options.lte_reltol
+              * np.maximum(np.abs(x_new[:n_nets]), np.abs(x_old[:n_nets]))
+              + options.lte_abstol)
+    if not lte.size:
+        return 0.0
+    return float(np.max(lte / weight)) / options.lte_trtol
+
+
+def _next_step(h: float, err: float, options: SimOptions,
+               dt_min: float, dt_max: float) -> float:
+    """Step-size update from a normalised LTE ``err`` (clamped).
+
+    Pure so the controller clamps are unit-testable: the classic
+    third-order rule ``h * safety * err**(-1/3)`` bounded by the
+    grow/shrink limits and the hard ``dt_min``/``dt_max`` bounds.
+    """
+    if err <= 0.0:
+        factor = options.step_grow_limit
+    else:
+        factor = options.step_safety * err ** (-1.0 / 3.0)
+    factor = min(max(factor, options.step_shrink_limit),
+                 options.step_grow_limit)
+    return min(max(h * factor, dt_min), dt_max)
+
+
+def _transient_adaptive(circuit: Circuit, structure: MnaStructure,
+                        state: _CompanionState, options: SimOptions,
+                        x: np.ndarray, stats: NewtonStats, t_stop: float,
+                        dt: float) -> TransientResult:
+    """LTE-controlled integration from 0 to ``t_stop`` (initial step ``dt``).
+
+    Accepted points land exactly on every source-waveform breakpoint
+    (integration restarts with backward Euler there, like the fixed-grid
+    engine); between breakpoints the step grows and shrinks with the
+    local truncation error.  Newton failures and LTE rejections both
+    shrink the step and retry, bounded by ``options.max_step_halvings``
+    consecutive attempts.
+    """
+    cache = (FactorCache()
+             if options.use_compiled and options.reuse_enabled(True)
+             else None)
+    dt_min, dt_max = options.lte_bounds(dt)
+    use_trap = options.integration.lower() == "trap"
+    breakpoints = _source_breakpoints(circuit, t_stop)
+    n_nets = structure.n_nets
+
+    h_restart = max(dt * options.step_restart_fraction, dt_min)
+
+    times: List[float] = [0.0]
+    trace: List[np.ndarray] = [x]
+    history: List[Tuple[float, np.ndarray]] = [(0.0, x)]
+    t = 0.0
+    h = min(h_restart, dt_max)
+    restart = True  # BE for the first step and after every breakpoint
+    rejections = 0
+    eps = t_stop * 1e-12
+    while t < t_stop - eps:
+        index = bisect.bisect_right(breakpoints, t + eps)
+        next_stop = breakpoints[index] if index < len(breakpoints) else t_stop
+        # Land exactly on the next breakpoint; also absorb slivers that
+        # would otherwise leave a sub-dt_min remainder step.
+        if t + h >= next_stop - eps or next_stop - (t + h) < dt_min:
+            h_step = next_stop - t
+            landing = True
+        else:
+            h_step = h
+            landing = False
+        trapezoidal = use_trap and not restart
+        geq, ieq = state.prepare(h_step, trapezoidal)
+        try:
+            x_new = _newton_solve(structure, options, x, t=t + h_step,
+                                  companions=state.set, stats=stats,
+                                  factor_cache=cache)
+        except (ConvergenceError, SingularMatrixError):
+            stats.n_rejected_steps += 1
+            rejections += 1
+            if rejections > options.max_step_halvings or h_step <= dt_min * 1.0001:
+                raise ConvergenceError(
+                    f"adaptive transient step at t={t + h_step:.6g}s failed "
+                    f"to converge even at the minimum step {dt_min:.3g}s")
+            h = max(h_step * 0.5, dt_min)
+            continue
+
+        if trapezoidal and len(history) >= 3:
+            h1 = history[-1][0] - history[-2][0]
+            h2 = history[-2][0] - history[-3][0]
+            err = _lte_error(x_new, _predict(history, t + h_step), x,
+                             h_step, h1, h2, n_nets, options)
+            if err > 1.0 and h_step > dt_min * 1.0001:
+                stats.n_rejected_steps += 1
+                rejections += 1
+                if rejections > options.max_step_halvings:
+                    raise ConvergenceError(
+                        f"adaptive transient step at t={t + h_step:.6g}s "
+                        f"rejected {rejections} times in a row")
+                h = min(_next_step(h_step, err, options, dt_min, dt_max),
+                        h_step * 0.9)
+                h = max(h, dt_min)
+                continue
+            h_next = _next_step(h_step, err, options, dt_min, dt_max)
+            if landing:
+                # A landing step may be artificially short; don't let it
+                # collapse the controller's step.  An overestimate is
+                # caught by the next step's own LTE test.
+                h_next = max(h_next, h)
+        else:
+            h_next = h_step  # BE / startup steps carry no LTE estimate
+
+        rejections = 0
+        state.commit(x_new, geq, ieq)
+        t = next_stop if landing else t + h_step
+        times.append(t)
+        trace.append(x_new)
+        history.append((t, x_new))
+        del history[:-3]
+        x = x_new
+        if landing and next_stop < t_stop - eps:
+            # Landed on a source breakpoint: restart the integrator (BE
+            # next step, fresh predictor history, conservative step).
+            restart = True
+            history = [(t, x_new)]
+            h = min(max(h_next, dt_min), h_restart)
+        else:
+            restart = False
+            h = min(max(h_next, dt_min), dt_max)
+
+    return TransientResult(structure, np.asarray(times), np.asarray(trace),
+                           stats)

@@ -6,12 +6,14 @@ import pytest
 from repro.circuit import Circuit, Diode, Resistor, VoltageSource
 from repro.cml import NOMINAL, buffer_chain
 from repro.sim import (
+    NewtonStats,
     bjt_region,
     load_waveforms_csv,
     op_report,
     operating_point,
     run_cycles,
     save_waveforms_csv,
+    solver_stats_report,
     total_supply_power,
 )
 
@@ -105,3 +107,32 @@ class TestWaveformCsv:
         path.write_text("a,b\n1,2\n")
         with pytest.raises(ValueError):
             load_waveforms_csv(str(path))
+
+
+class TestSolverStatsReport:
+    def test_counters_always_shown(self):
+        stats = NewtonStats(strategy="plain", iterations=7,
+                            n_factorizations=2, n_reuses=5)
+        line = solver_stats_report(stats)
+        assert "strategy=plain" in line
+        assert "iterations=7" in line
+        assert "factorizations=2" in line
+        assert "reuses=5" in line
+        # zero-valued optional counters stay out of the line
+        assert "rejected_steps" not in line
+        assert "woodbury_fallbacks" not in line
+
+    def test_optional_counters_appear_when_nonzero(self):
+        stats = NewtonStats(strategy="gmin-stepping", gmin_steps=4,
+                            n_rejected_steps=3, woodbury_fallbacks=1)
+        line = solver_stats_report(stats)
+        assert "rejected_steps=3" in line
+        assert "woodbury_fallbacks=1" in line
+        assert "gmin_steps=4" in line
+
+    def test_real_solve_stats_render(self):
+        chain = buffer_chain(TECH, n_stages=1)
+        solution = operating_point(chain.circuit)
+        line = solver_stats_report(solution.stats)
+        assert "iterations=" in line
+        assert "factorizations=" in line
