@@ -16,6 +16,7 @@ from ..circuit.netlist import Circuit
 from ..circuit.sources import Waveform
 from ..cml.chain import BufferChain
 from ..cml.technology import CmlTechnology, NOMINAL
+from ..telemetry import Telemetry, from_env
 from .comparator import ComparatorConfig, DEFAULT_COMPARATOR
 from .detectors import DetectorConfig, DEFAULT_CONFIG
 from .sharing import SharedMonitor, build_shared_monitor, group_pairs
@@ -55,12 +56,40 @@ def instrument_pairs(circuit: Circuit,
                      comparator_config: ComparatorConfig = DEFAULT_COMPARATOR,
                      dual_emitter: bool = False,
                      vtest_waveform: Optional[Waveform] = None,
-                     name_prefix: str = "MON") -> InstrumentedDesign:
+                     name_prefix: str = "MON",
+                     telemetry: Optional[Telemetry] = None
+                     ) -> InstrumentedDesign:
     """Attach shared monitors over explicit output pairs (in place).
 
     ``name_prefix`` distinguishes monitor groups when instrumenting an
     already-instrumented circuit (e.g. adding latch-internal detectors).
+    ``telemetry`` (or the ``REPRO_TRACE`` environment variable) traces
+    the insertion as a ``dft_insertion`` span recording how many
+    monitors the sharing grouper produced for how many pairs.
     """
+    tel = telemetry if telemetry is not None else from_env()
+    if tel is None:
+        return _instrument_pairs_impl(
+            circuit, pairs, tech, max_share, detector_config,
+            comparator_config, dual_emitter, vtest_waveform, name_prefix)
+    with tel.span("dft_insertion", n_pairs=len(list(pairs)),
+                  max_share=max_share) as span:
+        design = _instrument_pairs_impl(
+            circuit, pairs, tech, max_share, detector_config,
+            comparator_config, dual_emitter, vtest_waveform, name_prefix)
+        span.set(n_monitors=len(design.monitors),
+                 n_monitored_gates=design.n_monitored_gates)
+        return design
+
+
+def _instrument_pairs_impl(circuit: Circuit,
+                           pairs: Sequence[Tuple[str, str]],
+                           tech: CmlTechnology, max_share: int,
+                           detector_config: DetectorConfig,
+                           comparator_config: ComparatorConfig,
+                           dual_emitter: bool,
+                           vtest_waveform: Optional[Waveform],
+                           name_prefix: str) -> InstrumentedDesign:
     design = InstrumentedDesign(circuit=circuit)
     for index, group in enumerate(group_pairs(list(pairs), max_share)):
         monitor = build_shared_monitor(
@@ -77,9 +106,11 @@ def instrument_chain(chain: BufferChain,
                      detector_config: DetectorConfig = DEFAULT_CONFIG,
                      comparator_config: ComparatorConfig = DEFAULT_COMPARATOR,
                      dual_emitter: bool = False,
-                     vtest_waveform: Optional[Waveform] = None
+                     vtest_waveform: Optional[Waveform] = None,
+                     telemetry: Optional[Telemetry] = None
                      ) -> InstrumentedDesign:
     """Instrument every stage output of a buffer chain (in place)."""
     return instrument_pairs(chain.circuit, chain.output_nets, chain.tech,
                             max_share, detector_config, comparator_config,
-                            dual_emitter, vtest_waveform)
+                            dual_emitter, vtest_waveform,
+                            telemetry=telemetry)

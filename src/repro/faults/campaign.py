@@ -15,18 +15,20 @@ transient experiments in :mod:`repro.analysis`.
 from __future__ import annotations
 
 import functools
+import time
 import weakref
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..parallel import parallel_map
 from ..sim.dc import (ConvergenceError, DcSolution, DeltaContext, NewtonStats,
-                      delta_solve, operating_point)
-from ..sim.mna import SingularMatrixError, structure_for
+                      _newton_span, delta_solve, operating_point)
+from ..sim.mna import CACHE_STATS, SingularMatrixError, structure_for
 from ..sim.options import DEFAULT_OPTIONS, SimOptions
+from ..telemetry import Telemetry, telemetry_for
 from .defects import Defect
 from .injector import inject
 
@@ -118,7 +120,9 @@ class FaultRecord:
     converged: bool = True
     #: Newton iterations spent on this defect's operating point (0 when
     #: the solve never converged) — the campaign benchmarks read this to
-    #: show what warm starting buys.
+    #: show what warm starting buys.  A ``delta-fallback`` record also
+    #: counts the failed low-rank attempt's iterations: the work was
+    #: spent on this defect either way.
     newton_iterations: int = 0
     #: How the operating point was obtained: ``"full"`` (conventional
     #: inject-and-solve), ``"delta"`` (low-rank solve on the shared
@@ -131,10 +135,29 @@ class FaultRecord:
     #: own factorizations).
     n_factorizations: int = 0
     n_reuses: int = 0
+    #: Homotopy steps the solve needed (0 when plain Newton converged);
+    #: a hard defect that only falls to gmin/source stepping shows up
+    #: here instead of silently inflating the iteration count.
+    gmin_steps: int = 0
+    source_steps: int = 0
 
     def caught_by(self) -> List[str]:
         return [name for name, verdict in self.verdicts.items()
                 if verdict == FAIL]
+
+    def merge_stats(self, stats: NewtonStats) -> None:
+        """Fold one solve's :class:`NewtonStats` into this record.
+
+        The single merge point for per-defect counters — the full path,
+        the delta path and the delta-fallback path (which merges both
+        the failed attempt's and the re-solve's stats) all go through
+        here, so serial and parallel campaigns account work identically.
+        """
+        self.newton_iterations += stats.iterations
+        self.n_factorizations += stats.n_factorizations
+        self.n_reuses += stats.n_reuses
+        self.gmin_steps += stats.gmin_steps
+        self.source_steps += stats.source_steps
 
 
 @dataclass
@@ -174,6 +197,26 @@ class CampaignResult:
         for record in self.records:
             counts[record.solver] = counts.get(record.solver, 0) + 1
         return counts
+
+    def aggregate_stats(self) -> NewtonStats:
+        """Campaign-wide solver counters, merged from every record.
+
+        The result quacks like a per-solve :class:`NewtonStats`
+        (strategy ``"campaign"``), so it feeds straight into
+        :func:`repro.sim.report.solver_stats_report` and the telemetry
+        counter mapping.  Records merge identically whether they were
+        produced serially or by worker processes, so serial and
+        parallel campaigns report the same aggregates.
+        """
+        stats = NewtonStats(strategy="campaign")
+        for record in self.records:
+            stats.iterations += record.newton_iterations
+            stats.n_factorizations += record.n_factorizations
+            stats.n_reuses += record.n_reuses
+            stats.gmin_steps += record.gmin_steps
+            stats.source_steps += record.source_steps
+        stats.woodbury_fallbacks = self.woodbury_fallbacks
+        return stats
 
     @property
     def woodbury_fallbacks(self) -> int:
@@ -216,6 +259,14 @@ def _warm_start_vector(structure, net_volts: Dict[str, float],
     return x0
 
 
+def _annotate_defect_span(span, record: FaultRecord) -> None:
+    """Attach a record's outcome to its ``defect`` tracing span."""
+    span.set(converged=record.converged, solver=record.solver,
+             newton_iterations=record.newton_iterations,
+             verdicts=dict(record.verdicts),
+             caught_by=record.caught_by())
+
+
 def _solve_defect(defect: Defect, *, circuit: Circuit,
                   oracles: Sequence[Oracle], options: SimOptions,
                   warm: Optional[Tuple[Dict[str, float], Dict[str, float]]]
@@ -223,8 +274,25 @@ def _solve_defect(defect: Defect, *, circuit: Circuit,
     """One campaign unit of work: inject, solve, judge.
 
     Module-level (and driven through :func:`functools.partial`) so the
-    parallel executor can pickle it.
+    parallel executor can pickle it.  With telemetry enabled the work
+    runs inside a ``defect`` span; the nested ``analysis`` /
+    ``newton_solve`` spans come from :func:`operating_point` itself.
     """
+    tel = telemetry_for(options)
+    if tel is None:
+        return _solve_defect_impl(defect, circuit, oracles, options, warm)
+    with tel.span("defect", defect=defect.describe(),
+                  kind=defect.kind) as span:
+        record = _solve_defect_impl(defect, circuit, oracles, options, warm)
+        _annotate_defect_span(span, record)
+        return record
+
+
+def _solve_defect_impl(defect: Defect, circuit: Circuit,
+                       oracles: Sequence[Oracle], options: SimOptions,
+                       warm: Optional[Tuple[Dict[str, float],
+                                            Dict[str, float]]]
+                       ) -> FaultRecord:
     faulty = inject(circuit, defect)
     initial = None
     if warm is not None:
@@ -236,10 +304,9 @@ def _solve_defect(defect: Defect, *, circuit: Circuit,
                            verdicts={o.name: FAIL for o in oracles},
                            converged=False)
     verdicts = {oracle.name: oracle.judge(solution) for oracle in oracles}
-    return FaultRecord(defect=defect, verdicts=verdicts,
-                       newton_iterations=solution.stats.iterations,
-                       n_factorizations=solution.stats.n_factorizations,
-                       n_reuses=solution.stats.n_reuses)
+    record = FaultRecord(defect=defect, verdicts=verdicts)
+    record.merge_stats(solution.stats)
+    return record
 
 
 #: Per-process cache of delta contexts, keyed on the (weakly held) MNA
@@ -276,29 +343,77 @@ def _solve_defect_delta(defect: Defect, *, circuit: Circuit,
     that fails to converge — go through the conventional inject-and-solve
     path.
     """
+    tel = telemetry_for(options)
+    if tel is None:
+        return _solve_defect_delta_impl(defect, circuit, oracles, options,
+                                        warm, x_ref, None)
+    with tel.span("defect", defect=defect.describe(),
+                  kind=defect.kind) as span:
+        record = _solve_defect_delta_impl(defect, circuit, oracles, options,
+                                          warm, x_ref, tel)
+        _annotate_defect_span(span, record)
+        return record
+
+
+def _solve_defect_delta_impl(defect: Defect, circuit: Circuit,
+                             oracles: Sequence[Oracle], options: SimOptions,
+                             warm: Optional[Tuple[Dict[str, float],
+                                                  Dict[str, float]]],
+                             x_ref: np.ndarray, tel) -> FaultRecord:
     deltas = defect.delta_conductances(circuit)
     if deltas is None:
-        return _solve_defect(defect, circuit=circuit, oracles=oracles,
-                             options=options, warm=warm)
+        return _solve_defect_impl(defect, circuit, oracles, options, warm)
     context = _delta_context(circuit, options, x_ref)
     index_pairs = [(context.structure.index(p), context.structure.index(n))
                    for p, n, _ in deltas]
     conductances = [g for _, _, g in deltas]
     stats = NewtonStats(strategy="woodbury")
     try:
-        x = delta_solve(context, index_pairs, conductances, options, stats)
+        if tel is None:
+            x = delta_solve(context, index_pairs, conductances, options,
+                            stats)
+        else:
+            try:
+                with tel.span("analysis", kind="dc") as span:
+                    with _newton_span(tel, stats, "woodbury"):
+                        x = delta_solve(context, index_pairs, conductances,
+                                        options, stats)
+                    span.set(strategy=stats.strategy,
+                             iterations=stats.iterations)
+            finally:
+                tel.record_newton(stats)
     except (ConvergenceError, SingularMatrixError):
-        record = _solve_defect(defect, circuit=circuit, oracles=oracles,
-                               options=options, warm=warm)
+        record = _solve_defect_impl(defect, circuit, oracles, options, warm)
         record.solver = "delta-fallback"
+        # The failed low-rank attempt's work belongs to this defect:
+        # merge its counters too, so aggregate stats account every
+        # iteration identically on the serial and parallel paths.
+        record.merge_stats(stats)
         return record
     solution = DcSolution(context.structure, x, stats)
     verdicts = {oracle.name: oracle.judge(solution) for oracle in oracles}
-    return FaultRecord(defect=defect, verdicts=verdicts,
-                       newton_iterations=stats.iterations,
-                       solver="delta",
-                       n_factorizations=stats.n_factorizations,
-                       n_reuses=stats.n_reuses)
+    record = FaultRecord(defect=defect, verdicts=verdicts, solver="delta")
+    record.merge_stats(stats)
+    return record
+
+
+def _solve_defect_captured(defect: Defect, *, solver, kwargs: Dict
+                           ) -> Tuple[FaultRecord, List[Dict], Dict]:
+    """Worker-process wrapper: solve one defect under capturing telemetry.
+
+    Used by the parallel campaign when tracing is on: the parent cannot
+    ship its tracer (open file handles) across the process boundary, so
+    each worker records into a fresh in-memory Telemetry and returns
+    ``(record, span events, metrics snapshot)`` for the parent to merge
+    — re-parenting the spans under the campaign span and folding the
+    counters into the parent registry, which keeps parallel campaign
+    telemetry identical to a serial run's.
+    """
+    telemetry = Telemetry.capturing()
+    kwargs = dict(kwargs,
+                  options=replace(kwargs["options"], telemetry=telemetry))
+    record = solver(defect, **kwargs)
+    return record, telemetry.events(), telemetry.metrics.snapshot()
 
 
 def run_campaign(circuit: Circuit, defects: Sequence[Defect],
@@ -308,7 +423,9 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                  delta: bool = False,
                  parallel: bool = False,
                  workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> CampaignResult:
+                 chunk_size: Optional[int] = None,
+                 progress: Optional[Callable[[int, int, float], None]] = None
+                 ) -> CampaignResult:
     """Inject each defect, solve DC, collect every oracle's verdict.
 
     ``circuit`` must already contain whatever the oracles read (monitor
@@ -330,7 +447,58 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
     (``workers`` processes, work split into ``chunk_size`` pieces — see
     :func:`repro.parallel.parallel_map`); results are returned in defect
     order and are identical to the serial path's.
+
+    ``progress`` (when given) is called from the parent process as
+    ``progress(defects_done, defects_total, elapsed_seconds)`` — after
+    every defect on the serial path, after every completed chunk on the
+    parallel path.
+
+    With telemetry enabled (``options.telemetry`` or ``REPRO_TRACE``)
+    the run traces the full ``campaign → defect → analysis →
+    newton_solve`` hierarchy, merges worker-process traces into the
+    parent trace, and flushes a campaign-wide metrics snapshot at the
+    end; render it with :class:`repro.telemetry.RunReport`.
     """
+    tel = telemetry_for(options)
+    defects = list(defects)
+    if tel is None:
+        return _run_campaign_impl(circuit, defects, oracles, options,
+                                  warm_start, delta, parallel, workers,
+                                  chunk_size, progress, None, None)
+    cache_before = dict(CACHE_STATS)
+    with tel.span("campaign", n_defects=len(defects),
+                  oracles=[oracle.name for oracle in oracles],
+                  warm_start=warm_start, delta=delta,
+                  parallel=parallel) as span:
+        result = _run_campaign_impl(circuit, defects, oracles, options,
+                                    warm_start, delta, parallel, workers,
+                                    chunk_size, progress, tel, span)
+        aggregate = result.aggregate_stats()
+        span.set(n_converged=sum(1 for r in result.records if r.converged),
+                 solver_counts=result.solver_counts(),
+                 woodbury_fallbacks=result.woodbury_fallbacks,
+                 newton_iterations=aggregate.iterations,
+                 # Parent-process cache activity only: worker processes
+                 # build their own structures, which this delta cannot
+                 # see (and which differ run to run with chunking).
+                 mna_cache_delta={key: CACHE_STATS[key] - cache_before[key]
+                                  for key in CACHE_STATS})
+        tel.metrics.counter("campaign.defects").add(len(result.records))
+        for solver_kind, count in result.solver_counts().items():
+            tel.metrics.counter(f"campaign.solves.{solver_kind}").add(count)
+        if result.woodbury_fallbacks:
+            tel.metrics.counter("campaign.woodbury_fallbacks").add(
+                result.woodbury_fallbacks)
+        tel.flush_metrics()
+        return result
+
+
+def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
+                       oracles: Sequence[Oracle], options: SimOptions,
+                       warm_start: bool, delta: bool, parallel: bool,
+                       workers: Optional[int], chunk_size: Optional[int],
+                       progress: Optional[Callable[[int, int, float], None]],
+                       tel, span) -> CampaignResult:
     reference = operating_point(circuit, options)
     for oracle in oracles:
         oracle.prepare(reference)
@@ -341,15 +509,42 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                 {name: reference.branch_current(name)
                  for name in reference.structure.branch_index})
 
+    # Worker processes must not receive the parent's telemetry (sinks
+    # hold open file handles and would not merge anyway); with tracing
+    # on they get a capturing wrapper instead, and their traces are
+    # grafted back into the parent trace below.
+    solve_options = replace(options, telemetry=None) if parallel else options
+    kwargs: Dict = dict(circuit=circuit, oracles=tuple(oracles),
+                        options=solve_options, warm=warm)
+    solver = _solve_defect
     if delta:
-        solve = functools.partial(_solve_defect_delta, circuit=circuit,
-                                  oracles=tuple(oracles), options=options,
-                                  warm=warm, x_ref=reference.x.copy())
+        solver = _solve_defect_delta
+        kwargs["x_ref"] = reference.x.copy()
+    capture = parallel and tel is not None
+    if capture:
+        solve = functools.partial(_solve_defect_captured, solver=solver,
+                                  kwargs=kwargs)
     else:
-        solve = functools.partial(_solve_defect, circuit=circuit,
-                                  oracles=tuple(oracles), options=options,
-                                  warm=warm)
-    records = parallel_map(solve, list(defects), workers=workers,
-                           chunk_size=chunk_size, serial=not parallel)
-    return CampaignResult(records=list(records),
-                          oracle_names=[o.name for o in oracles])
+        solve = functools.partial(solver, **kwargs)
+
+    callback = None
+    if progress is not None:
+        start = time.perf_counter()
+
+        def callback(done: int, total: int) -> None:
+            progress(done, total, time.perf_counter() - start)
+
+    raw = parallel_map(solve, defects, workers=workers,
+                       chunk_size=chunk_size, serial=not parallel,
+                       progress=callback)
+    if capture:
+        records = []
+        parent_id = span.span_id if span is not None else None
+        for record, events, snapshot in raw:
+            records.append(record)
+            tel.tracer.ingest(events, parent_id=parent_id)
+            tel.metrics.merge(snapshot)
+    else:
+        records = list(raw)
+    return CampaignResult(records=records,
+                          oracle_names=[oracle.name for oracle in oracles])

@@ -41,7 +41,9 @@ def _run_chunk(payload):
 def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
                  workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 serial: bool = False) -> List[R]:
+                 serial: bool = False,
+                 progress: Optional[Callable[[int, int], None]] = None
+                 ) -> List[R]:
     """Map ``func`` over ``items``, fanning out to a process pool.
 
     ``workers`` defaults to the machine's CPU count; ``chunk_size``
@@ -50,33 +52,61 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
     only a few milliseconds).  ``serial=True`` forces the in-process
     path, as do single-worker counts and short work lists.
 
+    ``progress`` (when given) is called as ``progress(done, total)``
+    from the parent process after every completed item on the serial
+    path and after every completed *chunk* on the pool path — chunks
+    finish out of order, so ``done`` counts completions, not prefix
+    length.  Results are still returned in input order.
+
     Any pool-level failure (no ``fork``/``spawn`` support, unpicklable
     payloads, a worker dying) falls back to running the whole map
     serially: a genuine error in ``func`` reproduces deterministically
     in-process, so nothing is hidden — only the parallelism is lost.
+    (On that fallback the progress count restarts from zero.)
     """
     items = list(items)
+    total = len(items)
     if workers is None:
         workers = default_workers()
     if serial or workers <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
+        return _serial_map(func, items, progress)
 
     if chunk_size is None:
         chunk_size = max(1, (len(items) + workers - 1) // workers)
     chunks = _chunked(items, chunk_size)
 
     try:
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
         with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            chunk_results = list(pool.map(_run_chunk,
-                                          [(func, chunk) for chunk in chunks]))
+            futures = [pool.submit(_run_chunk, (func, chunk))
+                       for chunk in chunks]
+            pending = set(futures)
+            done_items = 0
+            while pending:
+                finished, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    done_items += len(future.result())
+                if progress is not None:
+                    progress(done_items, total)
+            chunk_results = [future.result() for future in futures]
     except Exception:
         # Pool machinery failed (sandboxed platform, pickling, dead
         # worker).  Rerun serially: correctness first, speed second.
-        return [func(item) for item in items]
+        return _serial_map(func, items, progress)
 
     results: List[R] = []
     for chunk_result in chunk_results:
         results.extend(chunk_result)
+    return results
+
+
+def _serial_map(func: Callable[[T], R], items: Sequence[T],
+                progress: Optional[Callable[[int, int], None]]) -> List[R]:
+    results: List[R] = []
+    for item in items:
+        results.append(func(item))
+        if progress is not None:
+            progress(len(results), len(items))
     return results

@@ -10,12 +10,14 @@ fault-injected topologies (hard shorts across junctions etc.).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
+from ..telemetry import telemetry_for
 from .mna import (FactorCache, FaultedSystem, LowRankSolver, MnaStamper,
                   MnaStructure, SingularMatrixError, build_base,
                   stamp_nonlinear, structure_for)
@@ -465,15 +467,56 @@ def _with_gmin(options: SimOptions, gmin: float) -> SimOptions:
     return replace(options, gmin=gmin)
 
 
+@contextlib.contextmanager
+def _newton_span(tel, stats: NewtonStats, strategy: str):
+    """``newton_solve`` tracing span around one solve strategy.
+
+    No-op when telemetry is off; otherwise records the strategy and the
+    iterations the wrapped block consumed (as a delta on the shared
+    ``stats``, which accumulates across strategies).
+    """
+    if tel is None:
+        yield
+        return
+    before = stats.iterations
+    with tel.span("newton_solve", strategy=strategy) as span:
+        try:
+            yield
+        finally:
+            span.set(iterations=stats.iterations - before)
+
+
 def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
                     initial: Optional[np.ndarray] = None) -> DcSolution:
     """Compute the DC operating point of ``circuit``.
 
     Strategy: plain Newton → gmin stepping → source stepping.  Raises
     :class:`ConvergenceError` if everything fails.
+
+    With telemetry enabled (``options.telemetry`` or ``REPRO_TRACE``)
+    the solve traces an ``analysis`` span with one ``newton_solve``
+    child per strategy attempted, and folds its
+    :class:`NewtonStats` into the metrics registry — including when the
+    solve ultimately fails, so diverging defects still show their cost.
     """
-    structure = structure_for(circuit)
+    tel = telemetry_for(options)
     stats = NewtonStats()
+    if tel is None:
+        return _operating_point_impl(circuit, options, initial, stats, None)
+    with tel.span("analysis", kind="dc") as span:
+        try:
+            solution = _operating_point_impl(circuit, options, initial,
+                                             stats, tel)
+        finally:
+            span.set(strategy=stats.strategy, iterations=stats.iterations)
+            tel.record_newton(stats)
+        return solution
+
+
+def _operating_point_impl(circuit: Circuit, options: SimOptions,
+                          initial: Optional[np.ndarray],
+                          stats: NewtonStats, tel) -> DcSolution:
+    structure = structure_for(circuit)
     x0 = initial if initial is not None else np.zeros(structure.n_unknowns)
     cache = (FactorCache()
              if options.use_compiled and options.reuse_enabled(False)
@@ -481,8 +524,9 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
 
     structure.reset_device_states()
     try:
-        x = _newton_solve(structure, options, x0, stats=stats,
-                          factor_cache=cache)
+        with _newton_span(tel, stats, "newton"):
+            x = _newton_solve(structure, options, x0, stats=stats,
+                              factor_cache=cache)
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError):
         pass
@@ -491,11 +535,12 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     stats.strategy = "gmin-stepping"
     x = x0
     try:
-        for gmin in options.gmin_ladder():
-            structure.reset_device_states()
-            x = _newton_solve(structure, options, x, gmin=gmin, stats=stats,
-                              factor_cache=cache)
-            stats.gmin_steps += 1
+        with _newton_span(tel, stats, "gmin-stepping"):
+            for gmin in options.gmin_ladder():
+                structure.reset_device_states()
+                x = _newton_solve(structure, options, x, gmin=gmin,
+                                  stats=stats, factor_cache=cache)
+                stats.gmin_steps += 1
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError):
         pass
@@ -504,12 +549,13 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     stats.strategy = "source-stepping"
     x = np.zeros(structure.n_unknowns)
     try:
-        for step in range(1, options.source_steps + 1):
-            scale = step / options.source_steps
-            structure.reset_device_states()
-            x = _newton_solve(structure, options, x, source_scale=scale,
-                              stats=stats, factor_cache=cache)
-            stats.source_steps += 1
+        with _newton_span(tel, stats, "source-stepping"):
+            for step in range(1, options.source_steps + 1):
+                scale = step / options.source_steps
+                structure.reset_device_states()
+                x = _newton_solve(structure, options, x, source_scale=scale,
+                                  stats=stats, factor_cache=cache)
+                stats.source_steps += 1
         return DcSolution(structure, x, stats)
     except (ConvergenceError, SingularMatrixError) as error:
         raise ConvergenceError(

@@ -94,6 +94,7 @@ class MnaStructure:
     def compiled(self) -> "CompiledStamps":
         """The compiled stamping tables for this topology (built lazily)."""
         if self._compiled is None:
+            CACHE_STATS["compiled_builds"] += 1
             self._compiled = CompiledStamps(self)
         return self._compiled
 
@@ -122,6 +123,16 @@ _STRUCTURE_CACHE: "weakref.WeakKeyDictionary[Circuit, Tuple[int, MnaStructure]]"
     weakref.WeakKeyDictionary()
 )
 
+#: Always-on, per-process cache statistics.  Plain dict increments cost
+#: nanoseconds, so these run unconditionally; the telemetry layer
+#: snapshots them around campaigns to show what the structure and
+#: compiled-stamp caches are buying (or not).
+CACHE_STATS = {
+    "structure_hits": 0,
+    "structure_misses": 0,
+    "compiled_builds": 0,
+}
+
 
 def structure_for(circuit: Circuit) -> MnaStructure:
     """Cached :class:`MnaStructure` for ``circuit``.
@@ -137,9 +148,12 @@ def structure_for(circuit: Circuit) -> MnaStructure:
     try:
         entry = _STRUCTURE_CACHE.get(circuit)
     except TypeError:  # unhashable/unweakrefable circuit-like object
+        CACHE_STATS["structure_misses"] += 1
         return MnaStructure(circuit)
     if entry is not None and entry[0] == version:
+        CACHE_STATS["structure_hits"] += 1
         return entry[1]
+    CACHE_STATS["structure_misses"] += 1
     structure = MnaStructure(circuit)
     try:
         _STRUCTURE_CACHE[circuit] = (version, structure)

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..telemetry import Telemetry
 
 
 @dataclass
@@ -105,6 +108,18 @@ class SimOptions:
     #: delta solve; 0 disables it.  Tests tighten this to pin the chord
     #: solution near the full solve.
     delta_residual_tol: float = 0.0
+
+    # -- observability ---------------------------------------------------
+    #: Structured-telemetry hook (:class:`repro.telemetry.Telemetry`):
+    #: when set, every analysis entered with these options records
+    #: nested tracing spans and solver metrics through it.  ``None``
+    #: (the default) falls back to the ``REPRO_TRACE`` environment
+    #: variable, and with neither set the instrumentation is a no-op.
+    #: Excluded from equality/repr: two option sets that solve
+    #: identically compare equal regardless of who is watching, and
+    #: solver caches keyed on option equality stay shared.
+    telemetry: Optional["Telemetry"] = field(
+        default=None, compare=False, repr=False)
 
     def reuse_enabled(self, new_path: bool) -> bool:
         """Resolve :attr:`newton_reuse` for a solve.

@@ -15,9 +15,17 @@ from typing import Dict, List, Sequence
 from ..circuit.components import Resistor, VoltageSource
 from ..circuit.devices import Bjt, Diode
 from ..circuit.netlist import Circuit
+from ..telemetry import NEWTON_COUNTERS, MetricsRegistry, record_newton_stats
 from .dc import DcSolution
 from .transient import TransientResult
 from .waveform import Waveform
+
+#: Counters printed even when zero — the factorization economy is the
+#: headline, so "reuses=0" is information, not noise.  Everything else
+#: in :data:`~repro.telemetry.NEWTON_COUNTERS` only appears when it
+#: actually fired.
+_ALWAYS_SHOWN = frozenset(
+    {"newton.iterations", "newton.factorizations", "newton.reuses"})
 
 
 def bjt_region(info: Dict[str, float]) -> str:
@@ -100,19 +108,23 @@ def solver_stats_report(stats) -> str:
     iterations refactorized vs reused an LU), the adaptive stepper's
     rejected steps and the campaign's Woodbury fallbacks — the counters
     behind the performance numbers in BENCH_sim.json.
+
+    Built on the telemetry counter mapping
+    (:data:`~repro.telemetry.NEWTON_COUNTERS` via
+    :func:`~repro.telemetry.record_newton_stats`), so this report, the
+    JSONL traces and the campaign :class:`~repro.telemetry.RunReport`
+    all read the same counters — one source of truth.  Accepts anything
+    stats-shaped: a per-solve :class:`~repro.sim.dc.NewtonStats` or a
+    campaign aggregate from
+    :meth:`~repro.faults.campaign.CampaignResult.aggregate_stats`.
     """
-    parts = [f"strategy={stats.strategy}",
-             f"iterations={stats.iterations}",
-             f"factorizations={stats.n_factorizations}",
-             f"reuses={stats.n_reuses}"]
-    if stats.n_rejected_steps:
-        parts.append(f"rejected_steps={stats.n_rejected_steps}")
-    if stats.woodbury_fallbacks:
-        parts.append(f"woodbury_fallbacks={stats.woodbury_fallbacks}")
-    if stats.gmin_steps:
-        parts.append(f"gmin_steps={stats.gmin_steps}")
-    if stats.source_steps:
-        parts.append(f"source_steps={stats.source_steps}")
+    registry = MetricsRegistry()
+    record_newton_stats(registry, stats)
+    parts = [f"strategy={stats.strategy}"]
+    for _attr, metric in NEWTON_COUNTERS:
+        value = registry.counter_value(metric)
+        if value or metric in _ALWAYS_SHOWN:
+            parts.append(f"{metric.rsplit('.', 1)[-1]}={value}")
     return " ".join(parts)
 
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..circuit.components import Capacitor
 from ..circuit.netlist import Circuit
+from ..telemetry import telemetry_for
 from .dc import ConvergenceError, DcSolution, NewtonStats, _newton_solve, operating_point
 from .mna import (CompanionSet, FactorCache, MnaStructure,
                   SingularMatrixError, structure_for)
@@ -230,10 +231,35 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     detector experiments use it to start a monitoring node precharged to
     its quiescent level when the DC equilibrium (which a slow leak would
     only reach after microseconds) is not the physical test-start state.
+
+    With telemetry enabled (``options.telemetry`` or ``REPRO_TRACE``)
+    the run traces an ``analysis`` span (kind ``transient``) carrying
+    the point count and solver counters, and the adaptive stepper
+    records every LTE-rejected step size into the
+    ``transient.rejected_dt`` histogram.
     """
     if t_stop <= 0 or dt <= 0:
         raise ValueError("t_stop and dt must be positive")
 
+    tel = telemetry_for(options)
+    if tel is None:
+        return _transient_impl(circuit, t_stop, dt, options, initial,
+                               use_ic, cap_overrides, None)
+    with tel.span("analysis", kind="transient", t_stop=t_stop, dt=dt,
+                  adaptive=options.adaptive_step) as span:
+        result = _transient_impl(circuit, t_stop, dt, options, initial,
+                                 use_ic, cap_overrides, tel)
+        span.set(timepoints=len(result.times),
+                 iterations=result.stats.iterations,
+                 rejected_steps=result.stats.n_rejected_steps)
+        tel.record_newton(result.stats)
+        return result
+
+
+def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
+                    options: SimOptions, initial: Optional[DcSolution],
+                    use_ic: bool, cap_overrides: Optional[Dict[str, float]],
+                    tel) -> TransientResult:
     structure = structure_for(circuit)
     elements = _collect_dynamic(circuit)
     state = _CompanionState(structure, elements)
@@ -267,7 +293,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
 
     if options.adaptive_step:
         return _transient_adaptive(circuit, structure, state, options, x,
-                                   stats, t_stop, dt)
+                                   stats, t_stop, dt, tel)
 
     cache = (FactorCache()
              if options.use_compiled and options.reuse_enabled(False)
@@ -384,7 +410,7 @@ def _next_step(h: float, err: float, options: SimOptions,
 def _transient_adaptive(circuit: Circuit, structure: MnaStructure,
                         state: _CompanionState, options: SimOptions,
                         x: np.ndarray, stats: NewtonStats, t_stop: float,
-                        dt: float) -> TransientResult:
+                        dt: float, tel=None) -> TransientResult:
     """LTE-controlled integration from 0 to ``t_stop`` (initial step ``dt``).
 
     Accepted points land exactly on every source-waveform breakpoint
@@ -432,6 +458,8 @@ def _transient_adaptive(circuit: Circuit, structure: MnaStructure,
         except (ConvergenceError, SingularMatrixError):
             stats.n_rejected_steps += 1
             rejections += 1
+            if tel is not None:
+                tel.metrics.histogram("transient.rejected_dt").observe(h_step)
             if rejections > options.max_step_halvings or h_step <= dt_min * 1.0001:
                 raise ConvergenceError(
                     f"adaptive transient step at t={t + h_step:.6g}s failed "
@@ -447,6 +475,9 @@ def _transient_adaptive(circuit: Circuit, structure: MnaStructure,
             if err > 1.0 and h_step > dt_min * 1.0001:
                 stats.n_rejected_steps += 1
                 rejections += 1
+                if tel is not None:
+                    tel.metrics.histogram(
+                        "transient.rejected_dt").observe(h_step)
                 if rejections > options.max_step_halvings:
                     raise ConvergenceError(
                         f"adaptive transient step at t={t + h_step:.6g}s "

@@ -1,0 +1,42 @@
+"""Structured telemetry: tracing spans, solver metrics, run reports.
+
+Zero-dependency (stdlib-only) observability for the simulation stack.
+Three ways in:
+
+* programmatic — ``SimOptions(telemetry=Telemetry.to_jsonl("run.jsonl"))``
+  (or :meth:`Telemetry.capturing` for in-memory inspection in tests);
+* environment — ``REPRO_TRACE=run.jsonl`` traces every instrumented
+  entry point in the process with no code changes;
+* post-hoc — ``RunReport.from_jsonl("run.jsonl").render()`` turns either
+  into a triage summary (slowest defects, convergence outliers,
+  per-phase time breakdown, detector verdict table).
+
+See docs/observability.md for the span hierarchy, the JSONL schema and
+worked examples.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NEWTON_COUNTERS, record_newton_stats)
+from .report import RunReport
+from .runtime import TRACE_ENV_VAR, Telemetry, from_env, telemetry_for
+from .sinks import InMemorySink, JsonlSink, read_jsonl
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NEWTON_COUNTERS",
+    "RunReport",
+    "Span",
+    "TRACE_ENV_VAR",
+    "Telemetry",
+    "Tracer",
+    "from_env",
+    "read_jsonl",
+    "record_newton_stats",
+    "telemetry_for",
+]

@@ -1,0 +1,112 @@
+"""The :class:`Telemetry` facade and how the stack finds it.
+
+One Telemetry object = one tracer + one metrics registry, the unit the
+simulation stack threads around.  Resolution order for every
+instrumented entry point (:func:`telemetry_for`):
+
+1. ``SimOptions.telemetry`` — explicit, programmatic;
+2. the ``REPRO_TRACE=path.jsonl`` environment variable — zero-code
+   opt-in that appends a JSONL trace to ``path`` (one shared Telemetry
+   per distinct path, so successive analyses in a process land in one
+   coherent trace);
+3. neither → ``None``, and the instrumented code runs its untraced fast
+   path (a no-op: one attribute read plus one environ lookup).
+
+Worker processes of a parallel campaign never resolve the environment:
+the campaign hands them a :meth:`Telemetry.capturing` instance whose
+events are shipped back and merged into the parent trace.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, record_newton_stats
+from .sinks import InMemorySink, JsonlSink
+from .trace import Span, Tracer
+
+#: Environment variable enabling JSONL tracing without code changes.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: One shared env-configured Telemetry per trace path (process-wide).
+_ENV_TELEMETRY: Dict[str, "Telemetry"] = {}
+
+
+class Telemetry:
+    """A tracer plus a metrics registry, created and threaded together."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memory: Optional[InMemorySink] = None
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def to_jsonl(cls, path: str) -> "Telemetry":
+        """Telemetry writing spans/metrics to a JSON-lines file."""
+        return cls(tracer=Tracer([JsonlSink(path)]))
+
+    @classmethod
+    def capturing(cls) -> "Telemetry":
+        """Telemetry buffering events in memory (tests, worker capture)."""
+        telemetry = cls()
+        telemetry._memory = InMemorySink()
+        telemetry.tracer.sinks.append(telemetry._memory)
+        return telemetry
+
+    # -- tracing ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span on the underlying tracer (``with``-block)."""
+        return self.tracer.span(name, **attrs)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Captured events (only for :meth:`capturing` telemetry)."""
+        if self._memory is None:
+            raise RuntimeError("events() requires Telemetry.capturing()")
+        return self._memory.events
+
+    # -- metrics ---------------------------------------------------------
+
+    def record_newton(self, stats: Any) -> None:
+        """Fold one solve's ``NewtonStats`` into the canonical counters
+        plus the per-solve iteration histogram."""
+        record_newton_stats(self.metrics, stats)
+        self.metrics.histogram("newton.iterations_per_solve").observe(
+            getattr(stats, "iterations", 0))
+
+    def flush_metrics(self) -> None:
+        """Emit the current metrics snapshot as one trace event."""
+        snapshot = self.metrics.snapshot()
+        snapshot["type"] = "metrics"
+        self.tracer.emit(snapshot)
+
+    def close(self) -> None:
+        self.tracer.close()
+
+
+def from_env() -> Optional[Telemetry]:
+    """The process-shared Telemetry selected by ``REPRO_TRACE``, if set."""
+    path = os.environ.get(TRACE_ENV_VAR)
+    if not path:
+        return None
+    telemetry = _ENV_TELEMETRY.get(path)
+    if telemetry is None:
+        telemetry = _ENV_TELEMETRY[path] = Telemetry.to_jsonl(path)
+    return telemetry
+
+
+def telemetry_for(options: Any) -> Optional[Telemetry]:
+    """Resolve the active Telemetry for a simulation call (or ``None``).
+
+    ``options`` is duck-typed (anything with an optional ``telemetry``
+    attribute, normally :class:`~repro.sim.options.SimOptions`) so this
+    module never imports the solver stack.
+    """
+    telemetry = getattr(options, "telemetry", None)
+    if telemetry is not None:
+        return telemetry
+    return from_env()

@@ -1,0 +1,87 @@
+"""Event sinks: where finished spans and metrics snapshots go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Events
+are plain JSON-serialisable dicts (see docs/observability.md for the
+schema); the two built-in sinks cover the two uses the reproduction
+needs:
+
+* :class:`JsonlSink` — append-only JSON-lines file for post-hoc triage
+  (the ``REPRO_TRACE=path.jsonl`` opt-in writes through one of these);
+* :class:`InMemorySink` — a plain list, used by tests and by the
+  parallel fault campaign to ship worker-process traces back to the
+  parent for merging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+#: JSONL schema version stamped into the ``meta`` event.
+SCHEMA_VERSION = 1
+
+
+class InMemorySink:
+    """Collects events in a list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to ``path``.
+
+    The file is opened lazily on the first event and a ``meta`` line
+    (schema version, pid) is written per opened handle, so traces from
+    successive runs appending to one file stay self-describing.  Each
+    event is flushed immediately — a crashed campaign still leaves every
+    completed span on disk.  If the process forks after the handle is
+    open (process-pool campaigns), the child reopens its own handle
+    rather than interleaving writes through the inherited descriptor.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = None
+        self._pid = None
+
+    def _ensure_open(self) -> None:
+        pid = os.getpid()
+        if self._handle is None or self._pid != pid:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._pid = pid
+            self._write({"type": "meta", "schema": SCHEMA_VERSION,
+                         "pid": pid})
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(event, default=str,
+                                      separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._ensure_open()
+        self._write(event)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._pid = None
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load every event of a JSONL trace file (blank lines skipped)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

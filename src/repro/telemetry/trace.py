@@ -1,0 +1,126 @@
+"""Structured tracing: nested spans over the simulation stack.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects; each
+``tracer.span(name, **attrs)`` context manager opens a child of the
+innermost open span, so the natural call nesting of the code —
+``campaign → defect → analysis → newton_solve`` — becomes the span
+hierarchy of the trace with no explicit parent plumbing.  Spans are
+emitted to the tracer's sinks when they close (children therefore appear
+before their parents in a JSONL file); each carries wall-clock start
+time, duration, and a free-form attribute dict.
+
+Tracers are single-threaded by design (the simulation stack is
+synchronous; parallelism is process-based).  Worker-process spans come
+back as event lists and are grafted into the parent trace with
+:meth:`Tracer.ingest`, which rewrites span ids into the parent's id
+space and re-parents the workers' root spans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class Span:
+    """One timed, attributed operation; also its own context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "t_start",
+                 "duration_s", "_tracer", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], attrs: Dict[str, Any]):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.t_start = time.time()
+        self.duration_s: Optional[float] = None
+        self._tracer = tracer
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self)
+        return False
+
+    def to_event(self) -> Dict[str, Any]:
+        return {"type": "span", "name": self.name, "span_id": self.span_id,
+                "parent_id": self.parent_id, "t_start": self.t_start,
+                "duration_s": self.duration_s, "attrs": dict(self.attrs)}
+
+
+class Tracer:
+    """Span factory, nesting stack and sink fan-out."""
+
+    def __init__(self, sinks: Optional[Sequence[Any]] = None):
+        self.sinks = list(sinks) if sinks else []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def _alloc_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of the current one; use as ``with``-block."""
+        parent = self._stack[-1].span_id if self._stack else None
+        opened = Span(self, name, self._alloc_id(), parent, attrs)
+        self._stack.append(opened)
+        return opened
+
+    def _finish(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span._t0
+        # Pop down to (and including) the finishing span; an exception
+        # unwinding through nested spans closes them inner-first, so
+        # this is normally a single pop.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.emit(span.to_event())
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Send a raw event to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def ingest(self, events: Sequence[Dict[str, Any]],
+               parent_id: Optional[int] = None) -> None:
+        """Graft a foreign (worker-process) event list into this trace.
+
+        Span ids are rewritten into this tracer's id space; spans whose
+        parent is not part of ``events`` (the worker's roots) are
+        re-parented under ``parent_id``.  Non-span events (metrics,
+        meta) pass through unchanged.  Events emit in the order given,
+        preserving the worker's child-before-parent completion order.
+        """
+        mapping = {event["span_id"]: self._alloc_id()
+                   for event in events if event.get("type") == "span"}
+        for event in events:
+            if event.get("type") != "span":
+                self.emit(event)
+                continue
+            event = dict(event)
+            event["span_id"] = mapping[event["span_id"]]
+            foreign_parent = event.get("parent_id")
+            event["parent_id"] = mapping.get(foreign_parent, parent_id)
+            self.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry import Telemetry, from_env
 from .logic import LogicNetwork, Value
 
 
@@ -79,14 +80,44 @@ def fault_simulate(network: LogicNetwork,
                    vectors: Sequence[Dict[str, Value]],
                    faults: Optional[Sequence[StuckFault]] = None,
                    observed: Optional[Sequence[str]] = None,
-                   initial_state: Value = False) -> FaultSimResult:
+                   initial_state: Value = False,
+                   telemetry: Optional[Telemetry] = None) -> FaultSimResult:
     """Serial stuck-at fault simulation with early drop on detection.
 
     ``observed`` defaults to the primary outputs — detectors on every
     gate output correspond to observing every signal, which is how the
     paper's architecture turns internal faults into primary ones (pass
     ``observed=network.signals()`` to model that).
+
+    ``telemetry`` (or the ``REPRO_TRACE`` environment variable) traces
+    the run as a ``logic_fault_sim`` span and bumps the
+    ``faultsim.detected`` / ``faultsim.undetected`` counters.
     """
+    tel = telemetry if telemetry is not None else from_env()
+    if tel is None:
+        return _fault_simulate_impl(network, vectors, faults, observed,
+                                    initial_state)
+    with tel.span("logic_fault_sim", n_vectors=len(vectors)) as span:
+        result = _fault_simulate_impl(network, vectors, faults, observed,
+                                      initial_state)
+        span.set(n_faults=len(result.detected) + len(result.undetected),
+                 detected=len(result.detected),
+                 undetected=len(result.undetected),
+                 coverage=result.coverage)
+        if result.detected:
+            tel.metrics.counter("faultsim.detected").add(
+                len(result.detected))
+        if result.undetected:
+            tel.metrics.counter("faultsim.undetected").add(
+                len(result.undetected))
+        return result
+
+
+def _fault_simulate_impl(network: LogicNetwork,
+                         vectors: Sequence[Dict[str, Value]],
+                         faults: Optional[Sequence[StuckFault]],
+                         observed: Optional[Sequence[str]],
+                         initial_state: Value) -> FaultSimResult:
     if faults is None:
         faults = enumerate_stuck_faults(network)
     if observed is None:

@@ -136,3 +136,36 @@ class TestSolverStatsReport:
         line = solver_stats_report(solution.stats)
         assert "iterations=" in line
         assert "factorizations=" in line
+
+    def test_empty_campaign_aggregate(self):
+        """A campaign with zero records renders the all-zero baseline."""
+        from repro.faults.campaign import CampaignResult
+
+        line = solver_stats_report(CampaignResult().aggregate_stats())
+        assert line == ("strategy=campaign iterations=0 factorizations=0 "
+                        "reuses=0")
+
+    def test_all_fallback_campaign_aggregate(self):
+        """Every delta solve fell back: fallbacks equal the record count
+        and both attempts' work shows up in the aggregate."""
+        from repro.faults.campaign import CampaignResult, FaultRecord
+        from repro.faults.defects import Pipe
+
+        records = [FaultRecord(defect=Pipe("X1.Q1", 1e3), verdicts={},
+                               solver="delta-fallback",
+                               newton_iterations=11, n_factorizations=11)
+                   for _ in range(3)]
+        stats = CampaignResult(records=records).aggregate_stats()
+        assert stats.woodbury_fallbacks == 3
+        line = solver_stats_report(stats)
+        assert "iterations=33" in line
+        assert "woodbury_fallbacks=3" in line
+
+    def test_transient_with_zero_rejected_steps(self):
+        """A clean fixed-step transient never mentions rejected steps."""
+        stats = NewtonStats(strategy="trapezoidal", iterations=42,
+                            n_factorizations=1, n_reuses=41,
+                            n_rejected_steps=0)
+        line = solver_stats_report(stats)
+        assert line == ("strategy=trapezoidal iterations=42 "
+                        "factorizations=1 reuses=41")

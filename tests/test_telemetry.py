@@ -1,0 +1,275 @@
+"""Unit tests for the structured telemetry layer (repro.telemetry)."""
+
+import json
+
+import pytest
+
+from repro.sim.dc import NewtonStats
+from repro.telemetry import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NEWTON_COUNTERS,
+    RunReport,
+    Telemetry,
+    TRACE_ENV_VAR,
+    Tracer,
+    from_env,
+    read_jsonl,
+    record_newton_stats,
+    telemetry_for,
+)
+
+
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        events = sink.events
+        # Children close (and emit) before their parents.
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        inner_ev, outer_ev = events
+        assert inner_ev["parent_id"] == outer_ev["span_id"]
+        assert outer_ev["parent_id"] is None
+        assert all(e["duration_s"] >= 0 for e in events)
+
+    def test_attrs_at_open_and_set(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("op", kind="dc") as span:
+            span.set(iterations=7)
+        assert sink.events[0]["attrs"] == {"kind": "dc", "iterations": 7}
+
+    def test_exception_closes_span_with_error_attr(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.current is None
+        names = [e["name"] for e in sink.events]
+        assert names == ["inner", "outer"]
+        assert all(e["attrs"]["error"] == "ValueError" for e in sink.events)
+
+    def test_ingest_remaps_ids_and_reparents_roots(self):
+        # A worker trace: defect(1) -> analysis(2), children emitted first.
+        worker_events = [
+            {"type": "span", "name": "analysis", "span_id": 2,
+             "parent_id": 1, "t_start": 0.0, "duration_s": 0.1,
+             "attrs": {}},
+            {"type": "span", "name": "defect", "span_id": 1,
+             "parent_id": None, "t_start": 0.0, "duration_s": 0.2,
+             "attrs": {}},
+            {"type": "metrics", "counters": {"x": 1}},
+        ]
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("campaign") as campaign:
+            tracer.ingest(worker_events, parent_id=campaign.span_id)
+        by_name = {e["name"]: e for e in sink.events
+                   if e.get("type") == "span"}
+        # Worker ids collide with the parent's id space and get remapped.
+        assert by_name["defect"]["span_id"] != 1
+        assert by_name["defect"]["parent_id"] == campaign.span_id
+        assert by_name["analysis"]["parent_id"] == by_name["defect"]["span_id"]
+        # Non-span events pass through untouched.
+        assert {"type": "metrics", "counters": {"x": 1}} in sink.events
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.counter("c").add(4)
+        registry.gauge("g").set(2.5)
+        for value in (1.0, 3.0):
+            registry.histogram("h").observe(value)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 5}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["histograms"]["h"] == {
+            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").add(2)
+        a.histogram("h").observe(1.0)
+        a.gauge("g").set(1.0)
+        b.counter("n").add(3)
+        b.histogram("h").observe(5.0)
+        b.gauge("g").set(9.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"n": 5}
+        assert snap["gauges"] == {"g": 9.0}  # last write wins
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 5.0
+
+    def test_merge_empty_histogram_is_noop(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(2.0)
+        a.merge({"histograms": {"h": {"count": 0, "sum": 0.0,
+                                      "min": None, "max": None}}})
+        assert a.histogram("h").count == 1
+
+    def test_record_newton_stats_skips_zeros(self):
+        registry = MetricsRegistry()
+        stats = NewtonStats(strategy="newton")
+        stats.iterations = 7
+        stats.n_factorizations = 2
+        record_newton_stats(registry, stats)
+        counters = registry.snapshot()["counters"]
+        assert counters == {"newton.iterations": 7,
+                            "newton.factorizations": 2}
+
+    def test_newton_counters_cover_newtonstats(self):
+        stats = NewtonStats()
+        for attr, _name in NEWTON_COUNTERS:
+            assert hasattr(stats, attr)
+
+
+class TestSinks:
+    def test_jsonl_roundtrip_with_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"type": "span", "name": "x", "span_id": 1,
+                   "parent_id": None, "t_start": 0.0, "duration_s": 0.0,
+                   "attrs": {}})
+        sink.close()
+        events = read_jsonl(str(path))
+        assert events[0]["type"] == "meta"
+        assert events[0]["schema"] == 1
+        assert events[1]["name"] == "x"
+        # Compact one-object-per-line encoding.
+        lines = path.read_text().strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_jsonl_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(str(path))
+            sink.emit({"type": "metrics"})
+            sink.close()
+        events = read_jsonl(str(path))
+        assert [e["type"] for e in events] == ["meta", "metrics",
+                                               "meta", "metrics"]
+
+
+class TestTelemetryFacade:
+    def test_capturing_records_spans_and_metrics(self):
+        tel = Telemetry.capturing()
+        with tel.span("analysis", kind="dc"):
+            pass
+        stats = NewtonStats()
+        stats.iterations = 3
+        tel.record_newton(stats)
+        tel.flush_metrics()
+        events = tel.events()
+        assert events[0]["name"] == "analysis"
+        assert events[-1]["type"] == "metrics"
+        assert events[-1]["counters"]["newton.iterations"] == 3
+        histo = events[-1]["histograms"]["newton.iterations_per_solve"]
+        assert histo["count"] == 1 and histo["mean"] == 3.0
+
+    def test_events_requires_capturing(self):
+        with pytest.raises(RuntimeError):
+            Telemetry().events()
+
+    def test_telemetry_for_prefers_options(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+
+        class Options:
+            telemetry = None
+
+        assert telemetry_for(Options()) is None
+        assert telemetry_for(object()) is None
+        Options.telemetry = tel = Telemetry.capturing()
+        assert telemetry_for(Options()) is tel
+
+    def test_from_env_shares_one_instance_per_path(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert from_env() is None
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv(TRACE_ENV_VAR, path)
+        tel = from_env()
+        assert tel is not None and from_env() is tel
+        with tel.span("analysis"):
+            pass
+        tel.close()
+        assert [e["type"] for e in read_jsonl(path)] == ["meta", "span"]
+
+
+def _toy_campaign_events():
+    tel = Telemetry.capturing()
+    with tel.span("campaign", n_defects=2) as campaign:
+        for name, iters, verdicts in (("slowpoke", 40, {"detector": "fail"}),
+                                      ("quickie", 3, {"detector": "pass"})):
+            with tel.span("defect", defect=name) as defect:
+                with tel.span("analysis", kind="dc"):
+                    with tel.span("newton_solve", strategy="newton") as ns:
+                        ns.set(iterations=iters)
+                stats = NewtonStats()
+                stats.iterations = iters
+                tel.record_newton(stats)
+                defect.set(converged=True, solver="full",
+                           newton_iterations=iters, verdicts=verdicts)
+        campaign.set(newton_iterations=43)
+    tel.flush_metrics()
+    return tel.events()
+
+
+class TestRunReport:
+    def test_structure_and_headline_numbers(self):
+        report = RunReport.from_events(_toy_campaign_events())
+        assert len(report.named("campaign")) == 1
+        assert len(report.named("defect")) == 2
+        assert report.slowest_defect_name() in {"slowpoke", "quickie"}
+        assert report.total_newton_iterations() == 43
+        assert report.verdict_counts() == {
+            "detector": {"fail": 1, "pass": 1}}
+
+    def test_total_iterations_span_fallback(self):
+        events = [e for e in _toy_campaign_events()
+                  if e.get("type") == "span"]
+        report = RunReport.from_events(events)
+        assert report.total_newton_iterations() == 43
+
+    def test_cumulative_metrics_snapshots_not_double_counted(self):
+        events = _toy_campaign_events()
+        # A second (cumulative) flush of the same registry state must
+        # not double the counters.
+        events = events + [events[-1]]
+        report = RunReport.from_events(events)
+        assert report.total_newton_iterations() == 43
+
+    def test_render_text_and_markdown(self):
+        report = RunReport.from_events(_toy_campaign_events())
+        text = report.render()
+        for needle in ("Run report", "Per-phase time breakdown",
+                       "Slowest defects", "slowpoke", "Detector verdicts",
+                       "newton.iterations", "total newton iterations: 43"):
+            assert needle in text
+        markdown = report.render(markdown=True)
+        assert "### Slowest defects" in markdown
+        assert "| defect |" in markdown
+
+    def test_from_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry.to_jsonl(str(path))
+        with tel.span("campaign"):
+            with tel.span("defect", defect="d1"):
+                pass
+        tel.flush_metrics()
+        tel.close()
+        report = RunReport.from_jsonl(str(path))
+        assert len(report.spans) == 2
+        campaign = report.named("campaign")[0]
+        assert report.children_of(campaign)[0]["name"] == "defect"
