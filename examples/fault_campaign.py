@@ -11,8 +11,17 @@ three static test methods and prints the coverage matrix:
 The complementarity is the paper's core argument: the detector owns the
 parametric excursion class that both classic methods miss.
 
+The campaign runs with the fault-tolerant execution layer armed the way
+a long batch job would: a per-defect solver deadline (a defect whose
+solve runs dry on the whole degradation ladder is quarantined with a
+reason instead of aborting the sweep) and a JSONL checkpoint, so
+rerunning this script after killing it resumes where it stopped (see
+docs/robustness.md).
+
 Run with:  python examples/fault_campaign.py
 """
+
+import os
 
 from repro.cml import NOMINAL, buffer_chain
 from repro.dft import build_shared_monitor
@@ -23,8 +32,10 @@ from repro.faults import (
     enumerate_defects,
     run_campaign,
 )
+from repro.sim import SimOptions
 
 TECH = NOMINAL
+CHECKPOINT = "fault_campaign_checkpoint.jsonl"
 
 
 def main() -> None:
@@ -43,8 +54,18 @@ def main() -> None:
     ]
     print(f"Injecting {len(defects)} defects into "
           f"{chain.circuit.summary()} ...")
-    result = run_campaign(chain.circuit, defects, oracles)
+    result = run_campaign(
+        chain.circuit, defects, oracles,
+        options=SimOptions(solve_deadline_s=30.0),
+        checkpoint=CHECKPOINT,
+        resume=os.path.exists(CHECKPOINT))
+    if result.n_resumed:
+        print(f"(resumed {result.n_resumed} records from {CHECKPOINT})")
     print(result.format())
+    for record in result.quarantined():
+        print(f"quarantined {record.defect.describe()}: "
+              f"{record.quarantine_reason}")
+    os.remove(CHECKPOINT)
 
     escapes = result.escapes()
     print(f"\nEscaping every static oracle: {len(escapes)} defects, e.g.:")

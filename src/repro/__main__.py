@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig4 table1
     python -m repro run all
     python -m repro export-spice --stages 8 --pipe 4e3 chain.cir
+    python -m repro campaign --stages 4 --parallel --checkpoint run.jsonl
+    python -m repro campaign --checkpoint run.jsonl --resume
 """
 
 from __future__ import annotations
@@ -80,6 +82,52 @@ def _cmd_export_spice(path: str, stages: int, pipe: float) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from .cml import NOMINAL, buffer_chain
+    from .dft import build_shared_monitor
+    from .faults import (FlagOracle, IddqOracle, LogicOracle,
+                         enumerate_defects, run_campaign)
+    from .sim import SimOptions
+
+    chain = buffer_chain(NOMINAL, n_stages=args.stages, frequency=100e6)
+    # Enumerate fault sites before instrumentation so only the functional
+    # logic is attacked.
+    defects = list(enumerate_defects(
+        chain.circuit, kinds=tuple(args.kinds),
+        pipe_resistances=tuple(args.pipe_resistances)))
+    if args.limit is not None:
+        defects = defects[:args.limit]
+    monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                   tech=NOMINAL)
+    oracles = [LogicOracle(chain.output_nets),
+               FlagOracle(monitor.nets.flag, monitor.nets.flagb),
+               IddqOracle()]
+    options = SimOptions(solve_deadline_s=args.deadline,
+                         chunk_timeout_s=args.chunk_timeout)
+
+    started = time.time()
+    result = run_campaign(chain.circuit, defects, oracles,
+                          options=options, delta=args.delta,
+                          parallel=args.parallel, workers=args.workers,
+                          chunk_size=args.chunk_size,
+                          checkpoint=args.checkpoint, resume=args.resume)
+    elapsed = time.time() - started
+
+    print(result.format())
+    line = (f"[{len(result.records)} defects in {elapsed:.1f} s"
+            f" ({args.stages}-stage chain)")
+    if result.n_resumed:
+        line += f", {result.n_resumed} resumed from checkpoint"
+    quarantined = result.quarantined()
+    if quarantined:
+        line += f", {len(quarantined)} quarantined"
+    print(line + "]")
+    for record in quarantined:
+        print(f"  quarantined {record.defect.kind} "
+              f"{record.defect.describe()}: {record.quarantine_reason}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -102,6 +150,40 @@ def main(argv=None) -> int:
                         help="inject a C-E pipe of this resistance "
                              "(0 = fault-free)")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a fault campaign on an instrumented chain")
+    campaign.add_argument("--stages", type=int, default=3)
+    campaign.add_argument("--kinds", nargs="+",
+                          default=["pipe", "terminal-short",
+                                   "resistor-short"],
+                          help="defect kinds to enumerate")
+    campaign.add_argument("--pipe-resistances", nargs="+", type=float,
+                          default=[2e3, 4e3])
+    campaign.add_argument("--limit", type=int, default=None,
+                          help="cap the number of defects")
+    campaign.add_argument("--parallel", action="store_true")
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument("--chunk-size", type=int, default=None)
+    campaign.add_argument("--delta", action="store_true",
+                          help="use the low-rank fault-delta fast path")
+    campaign.add_argument("--checkpoint", default=None, metavar="JSONL",
+                          help="append completed records to this JSONL "
+                               "checkpoint as they finish")
+    campaign.add_argument("--resume", nargs="?", const=True, default=False,
+                          metavar="JSONL",
+                          help="skip defects already solved in the given "
+                               "checkpoint (defaults to --checkpoint)")
+    campaign.add_argument("--deadline", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="per-defect solver wall-clock budget "
+                               "(0 = unbounded)")
+    campaign.add_argument("--chunk-timeout", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="parallel liveness timeout: quarantine "
+                               "defects whose worker hangs this long "
+                               "(0 = wait forever)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -109,6 +191,8 @@ def main(argv=None) -> int:
         return _cmd_run(args.names)
     if args.command == "export-spice":
         return _cmd_export_spice(args.path, args.stages, args.pipe)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 2  # pragma: no cover
 
 

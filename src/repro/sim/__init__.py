@@ -12,7 +12,8 @@ Typical usage::
 
 from .ac import AcResult, ac_analysis, logspace_frequencies
 from .dcsweep import DcSweepResult, dc_sweep, hysteresis_sweep
-from .dc import ConvergenceError, DcSolution, NewtonStats, kcl_residuals, operating_point
+from .dc import (ConvergenceError, DcSolution, NewtonStats, SolveDeadlineExceeded,
+                 kcl_residuals, operating_point)
 from .mna import MnaStructure, SingularMatrixError
 from .options import DEFAULT_OPTIONS, SimOptions
 from .report import (
@@ -52,6 +53,7 @@ __all__ = [
     "NewtonStats",
     "kcl_residuals",
     "ConvergenceError",
+    "SolveDeadlineExceeded",
     "SingularMatrixError",
     "MnaStructure",
     "transient",

@@ -11,6 +11,7 @@ fault-injected topologies (hard shorts across junctions etc.).
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -25,7 +26,47 @@ from .options import DEFAULT_OPTIONS, SimOptions
 
 
 class ConvergenceError(RuntimeError):
-    """Newton-Raphson failed to converge after all fallback strategies."""
+    """Newton-Raphson failed to converge after all fallback strategies.
+
+    When raised from :func:`operating_point` the exception carries a
+    ``stats`` attribute (:class:`NewtonStats`) accounting the work spent
+    on the failed solve, so campaign records charge diverging defects
+    their true cost.
+    """
+
+    #: Work spent before the failure; populated by :func:`operating_point`.
+    stats: Optional["NewtonStats"] = None
+
+
+class SolveDeadlineExceeded(ConvergenceError):
+    """A solve's wall-clock budget (``SimOptions.solve_deadline_s``) ran out.
+
+    Subclasses :class:`ConvergenceError` so existing handlers treat it
+    as a non-convergence, but :func:`operating_point` aborts the
+    homotopy ladder on it instead of escalating to the next (equally
+    doomed, possibly much slower) strategy.
+    """
+
+
+def _deadline_for(options: "SimOptions") -> Optional[float]:
+    """Absolute ``perf_counter`` deadline for one solve, or ``None``."""
+    if options.solve_deadline_s > 0:
+        return time.perf_counter() + options.solve_deadline_s
+    return None
+
+
+def _check_deadline(deadline: Optional[float], iteration: int,
+                    where: str) -> None:
+    """Raise :class:`SolveDeadlineExceeded` once ``deadline`` has passed.
+
+    Called between Newton iterations only: an individual assembled
+    linear solve is never interrupted, so the overshoot is bounded by
+    one iteration's cost.
+    """
+    if deadline is not None and time.perf_counter() > deadline:
+        raise SolveDeadlineExceeded(
+            f"{where} exceeded its wall-clock budget after "
+            f"{iteration} iteration(s)")
 
 
 @dataclass
@@ -101,7 +142,8 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
                   gmin: Optional[float] = None,
                   companions: Optional[Callable[[MnaStamper], None]] = None,
                   stats: Optional[NewtonStats] = None,
-                  factor_cache: Optional[FactorCache] = None) -> np.ndarray:
+                  factor_cache: Optional[FactorCache] = None,
+                  deadline: Optional[float] = None) -> np.ndarray:
     """Run one Newton-Raphson solve; raises ConvergenceError on failure.
 
     The returned vector satisfies the per-unknown tolerance tests of
@@ -133,8 +175,9 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
         try:
             if use_cache:
                 return _modified_newton(system, options, x, n_nets, stats,
-                                        factor_cache)
+                                        factor_cache, deadline)
             for iteration in range(options.max_nr_iterations):
+                _check_deadline(deadline, iteration, "newton solve")
                 x_new, limited = system.iterate(x)
                 if options.max_voltage_step > 0:
                     delta = x_new[:n_nets] - x[:n_nets]
@@ -155,6 +198,7 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
     else:
         stamper = build_base(structure, local, t, source_scale, companions)
         for iteration in range(options.max_nr_iterations):
+            _check_deadline(deadline, iteration, "newton solve")
             stamper.restore_base()
             stamper.clear_limited()
             stamp_nonlinear(structure, stamper, x)
@@ -178,7 +222,8 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
 
 def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
                      stats: Optional[NewtonStats],
-                     cache: FactorCache) -> np.ndarray:
+                     cache: FactorCache,
+                     deadline: Optional[float] = None) -> np.ndarray:
     """Newton iteration through a reusable LU factorization.
 
     Each iteration assembles the Jacobian/RHS at the current iterate (the
@@ -192,6 +237,7 @@ def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
     token = system.factor_token
     prev_rnorm: Optional[float] = None
     for iteration in range(options.max_nr_iterations):
+        _check_deadline(deadline, iteration, "modified newton solve")
         matrix, rhs, limited = system.assemble(x)
         residual = rhs - matrix @ x
         rnorm = float(np.max(np.abs(residual))) if residual.size else 0.0
@@ -326,15 +372,18 @@ def delta_solve(context: DeltaContext,
     near the full solve.
     """
     faulted = FaultedSystem(context.system, index_pairs, conductances)
+    deadline = _deadline_for(options)
     use_chord = options.newton_reuse != "never" and (
         context.system.sparse or options.newton_reuse == "always")
     if use_chord:
         try:
             return _delta_chord(context, faulted, index_pairs, conductances,
-                                options, stats)
+                                options, stats, deadline)
+        except SolveDeadlineExceeded:
+            raise
         except (ConvergenceError, SingularMatrixError):
             pass
-    return _delta_replay(context, faulted, options, stats)
+    return _delta_replay(context, faulted, options, stats, deadline)
 
 
 def _delta_residual(faulted: FaultedSystem, matrix, rhs: np.ndarray,
@@ -347,7 +396,8 @@ def _delta_residual(faulted: FaultedSystem, matrix, rhs: np.ndarray,
 def _delta_chord(context: DeltaContext, faulted: FaultedSystem,
                  index_pairs: Sequence[Tuple[int, int]],
                  conductances: Sequence[float], options: SimOptions,
-                 stats: Optional[NewtonStats]) -> np.ndarray:
+                 stats: Optional[NewtonStats],
+                 deadline: Optional[float] = None) -> np.ndarray:
     """Woodbury chords through the shared reference factorization."""
     context.restore_reference()
     solver = LowRankSolver(context.cache, faulted.n, index_pairs,
@@ -360,6 +410,7 @@ def _delta_chord(context: DeltaContext, faulted: FaultedSystem,
     prev_rnorm: Optional[float] = None
     pending = False
     for iteration in range(options.delta_max_iterations):
+        _check_deadline(deadline, iteration, "delta chord solve")
         matrix, rhs, limited = faulted.assemble(x)
         residual, rnorm = _delta_residual(faulted, matrix, rhs, x)
         if pending and rnorm <= res_tol:
@@ -406,7 +457,8 @@ def _delta_chord(context: DeltaContext, faulted: FaultedSystem,
 
 def _delta_replay(context: DeltaContext, faulted: FaultedSystem,
                   options: SimOptions,
-                  stats: Optional[NewtonStats]) -> np.ndarray:
+                  stats: Optional[NewtonStats],
+                  deadline: Optional[float] = None) -> np.ndarray:
     """Plain Newton on the faulted view — a bitwise conventional replay.
 
     Every ingredient matches the full inject-and-solve path's first
@@ -426,6 +478,7 @@ def _delta_replay(context: DeltaContext, faulted: FaultedSystem,
     x = context.x_ref.copy()
     pending = False
     for iteration in range(options.max_nr_iterations):
+        _check_deadline(deadline, iteration, "delta replay solve")
         matrix, rhs, limited = faulted.assemble(x)
         if pending:
             _, rnorm = _delta_residual(faulted, matrix, rhs, x)
@@ -502,11 +555,19 @@ def operating_point(circuit: Circuit, options: SimOptions = DEFAULT_OPTIONS,
     tel = telemetry_for(options)
     stats = NewtonStats()
     if tel is None:
-        return _operating_point_impl(circuit, options, initial, stats, None)
+        try:
+            return _operating_point_impl(circuit, options, initial, stats,
+                                         None)
+        except ConvergenceError as error:
+            error.stats = stats
+            raise
     with tel.span("analysis", kind="dc") as span:
         try:
             solution = _operating_point_impl(circuit, options, initial,
                                              stats, tel)
+        except ConvergenceError as error:
+            error.stats = stats
+            raise
         finally:
             span.set(strategy=stats.strategy, iterations=stats.iterations)
             tel.record_newton(stats)
@@ -521,13 +582,19 @@ def _operating_point_impl(circuit: Circuit, options: SimOptions,
     cache = (FactorCache()
              if options.use_compiled and options.reuse_enabled(False)
              else None)
+    # One wall-clock budget spans the whole homotopy ladder: a blown
+    # deadline aborts immediately (the remaining strategies are slower,
+    # not faster) instead of falling through to them.
+    deadline = _deadline_for(options)
 
     structure.reset_device_states()
     try:
         with _newton_span(tel, stats, "newton"):
             x = _newton_solve(structure, options, x0, stats=stats,
-                              factor_cache=cache)
+                              factor_cache=cache, deadline=deadline)
         return DcSolution(structure, x, stats)
+    except SolveDeadlineExceeded:
+        raise
     except (ConvergenceError, SingularMatrixError):
         pass
 
@@ -539,9 +606,12 @@ def _operating_point_impl(circuit: Circuit, options: SimOptions,
             for gmin in options.gmin_ladder():
                 structure.reset_device_states()
                 x = _newton_solve(structure, options, x, gmin=gmin,
-                                  stats=stats, factor_cache=cache)
+                                  stats=stats, factor_cache=cache,
+                                  deadline=deadline)
                 stats.gmin_steps += 1
         return DcSolution(structure, x, stats)
+    except SolveDeadlineExceeded:
+        raise
     except (ConvergenceError, SingularMatrixError):
         pass
 
@@ -554,9 +624,12 @@ def _operating_point_impl(circuit: Circuit, options: SimOptions,
                 scale = step / options.source_steps
                 structure.reset_device_states()
                 x = _newton_solve(structure, options, x, source_scale=scale,
-                                  stats=stats, factor_cache=cache)
+                                  stats=stats, factor_cache=cache,
+                                  deadline=deadline)
                 stats.source_steps += 1
         return DcSolution(structure, x, stats)
+    except SolveDeadlineExceeded:
+        raise
     except (ConvergenceError, SingularMatrixError) as error:
         raise ConvergenceError(
             f"operating point failed after newton, gmin stepping and "

@@ -109,6 +109,34 @@ class SimOptions:
     #: solution near the full solve.
     delta_residual_tol: float = 0.0
 
+    # -- fault-tolerant campaign execution -------------------------------
+    #: Wall-clock budget for one operating-point solve, in seconds,
+    #: covering the whole homotopy ladder (plain Newton, gmin stepping,
+    #: source stepping).  Checked between Newton iterations — a single
+    #: assembled linear solve is never interrupted — and raised as
+    #: :class:`repro.sim.dc.SolveDeadlineExceeded`, which aborts the
+    #: remaining homotopies instead of falling through to them.
+    #: ``0`` disables the deadline (the default: zero cost on the hot
+    #: path beyond one ``is not None`` test per iteration).
+    solve_deadline_s: float = 0.0
+    #: Newton-iteration-cap escalation applied by the fault campaign's
+    #: last-resort cold retry: the retry solves with
+    #: ``max_nr_iterations * retry_iteration_scale`` iterations and a
+    #: fresh deadline before the defect is quarantined.
+    retry_iteration_scale: float = 2.0
+    #: Liveness timeout for a parallel campaign's chunk-wait loop, in
+    #: seconds: if *no* chunk completes for this long, still-queued
+    #: chunks are cancelled and rerun in-process and the chunks actually
+    #: running are declared hung (their defects quarantine with a
+    #: timeout reason).  ``0`` waits forever.
+    chunk_timeout_s: float = 0.0
+    #: Bounded resubmissions of a failed parallel chunk before its items
+    #: fall back to an in-process serial rerun.
+    max_chunk_retries: int = 1
+    #: Backoff before a chunk resubmission, ``chunk_retry_backoff_s *
+    #: attempt`` seconds.
+    chunk_retry_backoff_s: float = 0.1
+
     # -- observability ---------------------------------------------------
     #: Structured-telemetry hook (:class:`repro.telemetry.Telemetry`):
     #: when set, every analysis entered with these options records
@@ -137,6 +165,18 @@ class SimOptions:
                 f"newton_reuse must be 'auto', 'always' or 'never', "
                 f"got {self.newton_reuse!r}")
         return new_path
+
+    def escalated(self) -> "SimOptions":
+        """Options for the campaign's last-resort cold retry.
+
+        The Newton-iteration cap grows by :attr:`retry_iteration_scale`
+        (never shrinks); the wall-clock deadline restarts because
+        :attr:`solve_deadline_s` is a per-solve budget.
+        """
+        from dataclasses import replace
+        return replace(self, max_nr_iterations=max(
+            self.max_nr_iterations,
+            int(self.max_nr_iterations * self.retry_iteration_scale)))
 
     def lte_bounds(self, dt: float) -> Tuple[float, float]:
         """Effective ``(dt_min, dt_max)`` for base step ``dt``."""

@@ -141,6 +141,21 @@ class RunReport:
                          "mean_s": total / len(durations)})
         return rows
 
+    def quarantined_defects(self) -> List[Dict[str, Any]]:
+        """Defect spans the campaign quarantined (with their reasons).
+
+        These defects never produced a converged solve: the solver's
+        degradation ladder (delta → warm full → escalated cold retry) ran
+        dry, the worker crashed, or it hung past the liveness timeout.
+        """
+        return [span for span in self.named("defect")
+                if span["attrs"].get("quarantined")]
+
+    def resumed_count(self) -> int:
+        """Defects restored from a checkpoint instead of re-solved."""
+        return sum(span["attrs"].get("n_resumed", 0)
+                   for span in self.named("campaign"))
+
     def convergence_outliers(self, limit: int = TOP_N
                              ) -> List[Dict[str, Any]]:
         """Non-converged defects first, then the highest-iteration ones."""
@@ -165,6 +180,12 @@ class RunReport:
                    f"{self.total_newton_iterations()}"]
         if campaigns:
             summary.insert(0, f"campaign wall time: {wall:.4g} s")
+        quarantined = self.quarantined_defects()
+        if quarantined:
+            summary.append(f"quarantined defects: {len(quarantined)}")
+        resumed = self.resumed_count()
+        if resumed:
+            summary.append(f"resumed from checkpoint: {resumed}")
         sections.append(heading + "\n" + "\n".join(
             ("- " if markdown else "  ") + line for line in summary))
 
@@ -194,6 +215,15 @@ class RunReport:
             sections.append(_table(
                 ["defect", "converged", "NR iters"], outlier_rows,
                 "Convergence outliers", markdown))
+
+        quarantine_rows = [[s["attrs"].get("defect", "?"),
+                            s["attrs"].get("kind", "?"),
+                            s["attrs"].get("quarantine_reason", "-")]
+                           for s in quarantined]
+        if quarantine_rows:
+            sections.append(_table(
+                ["defect", "kind", "reason"], quarantine_rows,
+                "Quarantined defects", markdown))
 
         verdicts = self.verdict_counts()
         if verdicts:

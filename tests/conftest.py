@@ -1,0 +1,66 @@
+"""Shared pytest configuration: a per-test hang watchdog.
+
+The robustness work in this repo exists precisely because a hung solve
+or worker can wedge a long batch run; the test suite gets the same
+protection.  When ``pytest-timeout`` is installed (CI passes
+``--timeout`` on the command line) it owns per-test deadlines and this
+conftest stays out of the way.  Where the plugin is absent, an
+equivalent ``SIGALRM``-based alarm aborts any test that runs longer
+than ``REPRO_TEST_TIMEOUT_S`` seconds (default 300), so a regression
+that reintroduces an unbounded hang fails the suite instead of
+stalling it forever.
+
+Individual tests may override the budget with
+``@pytest.mark.timeout(seconds)`` — the same marker pytest-timeout
+uses, so the override works under either mechanism.
+"""
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+try:
+    import pytest_timeout  # noqa: F401  (presence check only)
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_CAN_ALARM = hasattr(signal, "SIGALRM")
+
+
+def pytest_configure(config):
+    if not _HAVE_PLUGIN:
+        # pytest-timeout registers this marker itself when installed.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): abort the test if it runs longer than "
+            "this many seconds (SIGALRM fallback watchdog)")
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog(request):
+    if _HAVE_PLUGIN or not _CAN_ALARM:
+        yield
+        return
+    seconds = DEFAULT_TIMEOUT_S
+    marker = request.node.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    if seconds <= 0:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(f"test exceeded the {seconds:g}s hang watchdog",
+                    pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
