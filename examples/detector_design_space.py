@@ -10,7 +10,11 @@ Sweeps the main detector design choices on a fixed fault (3 kOhm pipe,
 * vtest level for variant 2 (the paper picks 3.7 V for VBE = 900 mV).
 
 Run with:  python examples/detector_design_space.py
+(set REPRO_EXAMPLE_FAST=1 to sweep a reduced case list on a short
+transient — the smoke-test mode)
 """
+
+import os
 
 from repro.analysis.reporting import format_table, nanoseconds
 from repro.cml import NOMINAL, buffer_chain
@@ -24,7 +28,7 @@ PIPE = 3e3
 FREQUENCY = 100e6
 
 
-def run_case(variant, config, vtest_level=None):
+def run_case(variant, config, vtest_level=None, cycles=30):
     chain = buffer_chain(TECH, frequency=FREQUENCY)
     if variant == 1:
         detector = attach_variant1(chain.circuit, "op", "opb", tech=TECH,
@@ -35,7 +39,8 @@ def run_case(variant, config, vtest_level=None):
         detector = attach_variant2(chain.circuit, "op", "opb", tech=TECH,
                                    config=config)
     faulty = inject(chain.circuit, Pipe("DUT.Q3", PIPE))
-    result = run_cycles(faulty, FREQUENCY, cycles=30, points_per_cycle=120,
+    result = run_cycles(faulty, FREQUENCY, cycles=cycles,
+                        points_per_cycle=120,
                         cap_overrides={f"{detector.name}.C7": 0.0})
     wave = result.wave(detector.vout)
     t_detect = wave.first_crossing(TECH.vgnd - 0.25, "fall")
@@ -54,9 +59,16 @@ def main() -> None:
         ("v2 vtest=3.8 + 1 pF", 2, DetectorConfig(load_cap=1e-12), 3.8),
         ("v2 dual-emitter-equiv", 2, DetectorConfig(load_cap=1e-12), 3.7),
     ]
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    cycles = 30
+    if fast:
+        # One case per family, short transient: exercises every code
+        # path (both variants, both load kinds) without the full sweep.
+        cases = [cases[0], cases[2], cases[3]]
+        cycles = 8
     rows = []
     for label, variant, config, vtest in cases:
-        v_min, t_detect = run_case(variant, config, vtest)
+        v_min, t_detect = run_case(variant, config, vtest, cycles=cycles)
         rows.append([label, f"{v_min:.3f}",
                      f"{nanoseconds(t_detect):.1f}" if t_detect else "-"])
     print(format_table(

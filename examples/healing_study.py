@@ -10,17 +10,24 @@ and prints the anomaly-vs-tap profile, showing the healing effect and
 the difference between the two delay-measurement conventions.
 
 Run with:  python examples/healing_study.py
+(set REPRO_EXAMPLE_FAST=1 for a single coarse-grid severity — the
+smoke-test mode, not publication quality)
 """
+
+import os
 
 from repro.analysis import table1_delays, table2_delays
 from repro.analysis.reporting import format_table, picoseconds
 
 
 def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    pipes = (4e3,) if fast else (2e3, 4e3, 8e3)
+    points = 300 if fast else 1200
     rows = []
-    for pipe in (2e3, 4e3, 8e3):
-        table1 = table1_delays(pipe_resistance=pipe, points_per_cycle=1200)
-        table2 = table2_delays(pipe_resistance=pipe, points_per_cycle=1200)
+    for pipe in pipes:
+        table1 = table1_delays(pipe_resistance=pipe, points_per_cycle=points)
+        table2 = table2_delays(pipe_resistance=pipe, points_per_cycle=points)
         stage = table1.nominal_stage_delay()
         rows.append([
             f"{pipe / 1e3:.0f}k",

@@ -78,13 +78,13 @@ def experiments(quick: bool):
     ]
 
 
-def main() -> None:
+def main(argv=None) -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
                         help="bench-scale grids (minutes, not an hour)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only these experiment names")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     OUTPUT_DIR.mkdir(exist_ok=True)
     total_start = time.time()

@@ -8,6 +8,8 @@ Usage::
     python -m repro export-spice --stages 8 --pipe 4e3 chain.cir
     python -m repro campaign --stages 4 --parallel --checkpoint run.jsonl
     python -m repro campaign --checkpoint run.jsonl --resume
+    python -m repro verify --seed 0 --budget 60s
+    python -m repro verify --replay tests/corpus/shared_monitor_pipe.json
 """
 
 from __future__ import annotations
@@ -128,6 +130,45 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .telemetry import from_env
+    from .verify import (DEFAULT_ENGINES, ENGINES_BY_NAME, cross_check,
+                         fuzz_session, load_scenario, parse_budget)
+
+    engines = list(DEFAULT_ENGINES)
+    if args.engines:
+        unknown = [n for n in args.engines if n not in ENGINES_BY_NAME]
+        if unknown:
+            print(f"unknown engines: {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"choose from: {', '.join(ENGINES_BY_NAME)}",
+                  file=sys.stderr)
+            return 2
+        engines = [ENGINES_BY_NAME[n] for n in args.engines]
+
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            result = cross_check(load_scenario(path), engines)
+            print(f"{path}: {result.format()}")
+            failures += 0 if result.ok else 1
+        return 1 if failures else 0
+
+    try:
+        budget = parse_budget(args.budget)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    report = fuzz_session(
+        seed=args.seed, budget_s=budget,
+        max_scenarios=args.max_scenarios, engines=engines,
+        out_dir=args.out, telemetry=from_env(),
+        shrink_failures=not args.no_shrink,
+        progress=lambda line: print(f"  ... {line}", flush=True))
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +225,29 @@ def main(argv=None) -> int:
                                "defects whose worker hangs this long "
                                "(0 = wait forever)")
 
+    verify = sub.add_parser(
+        "verify",
+        help="differential fuzzing: random scenarios under the full "
+             "engine matrix, disagreements shrunk and serialized")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="master seed; scenario seeds derive from it")
+    verify.add_argument("--budget", default="60s",
+                        help="wall-clock budget, e.g. 60s, 5m (default 60s)")
+    verify.add_argument("--max-scenarios", type=int, default=None,
+                        help="stop after this many scenarios")
+    verify.add_argument("--engines", nargs="+", default=None,
+                        help="engine configs to cross-check "
+                             "(default: the full matrix)")
+    verify.add_argument("--out", default="verify_failures",
+                        metavar="DIR",
+                        help="directory for shrunk failing scenarios")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="serialize failures without minimizing")
+    verify.add_argument("--replay", nargs="+", default=None,
+                        metavar="JSON",
+                        help="re-check serialized scenarios instead of "
+                             "fuzzing")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -193,6 +257,8 @@ def main(argv=None) -> int:
         return _cmd_export_spice(args.path, args.stages, args.pipe)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return 2  # pragma: no cover
 
 

@@ -272,3 +272,26 @@ class ResistorOpen(Defect):
 DEFECT_CLASSES: List[type] = [
     Pipe, TerminalShort, Bridge, TerminalOpen, ResistorShort, ResistorOpen,
 ]
+
+_DEFECT_BY_NAME = {cls.__name__: cls for cls in DEFECT_CLASSES}
+
+
+def defect_to_dict(defect: Defect) -> dict:
+    """JSON-serializable view of a defect (all concrete classes are
+    frozen dataclasses of plain str/float fields)."""
+    import dataclasses
+    if type(defect) not in DEFECT_CLASSES:
+        raise TypeError(f"not a serializable defect: {defect!r}")
+    return {"class": type(defect).__name__,
+            **dataclasses.asdict(defect)}
+
+
+def defect_from_dict(data: dict) -> Defect:
+    """Inverse of :func:`defect_to_dict` (used by the verification
+    corpus to replay serialized fault scenarios)."""
+    fields = dict(data)
+    class_name = fields.pop("class", None)
+    cls = _DEFECT_BY_NAME.get(class_name)
+    if cls is None:
+        raise ValueError(f"unknown defect class {class_name!r}")
+    return cls(**fields)

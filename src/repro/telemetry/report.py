@@ -156,6 +156,26 @@ class RunReport:
         return sum(span["attrs"].get("n_resumed", 0)
                    for span in self.named("campaign"))
 
+    def verification_summary(self) -> Optional[Dict[str, Any]]:
+        """Aggregates of the differential-verification fuzz runs in the
+        trace (``repro.verify`` spans/counters), or ``None`` if the
+        trace holds no verify session."""
+        sessions = self.named("verify")
+        scenarios = self.metrics.counter_value("verify.scenarios")
+        if not sessions and not scenarios:
+            return None
+        return {
+            "sessions": len(sessions),
+            "wall_s": sum(s.get("duration_s") or 0.0 for s in sessions),
+            "scenarios": scenarios,
+            "engine_pairs": self.metrics.counter_value(
+                "verify.engine_pairs"),
+            "checks": self.metrics.counter_value("verify.checks"),
+            "disagreements": self.metrics.counter_value(
+                "verify.disagreements"),
+            "shrinks": len(self.named("verify.shrink")),
+        }
+
     def convergence_outliers(self, limit: int = TOP_N
                              ) -> List[Dict[str, Any]]:
         """Non-converged defects first, then the highest-iteration ones."""
@@ -224,6 +244,18 @@ class RunReport:
             sections.append(_table(
                 ["defect", "kind", "reason"], quarantine_rows,
                 "Quarantined defects", markdown))
+
+        verification = self.verification_summary()
+        if verification:
+            sections.append(_table(
+                ["sessions", "wall (s)", "scenarios", "engine pairs",
+                 "checks", "disagreements", "shrinks"],
+                [[verification["sessions"], verification["wall_s"],
+                  verification["scenarios"],
+                  verification["engine_pairs"], verification["checks"],
+                  verification["disagreements"],
+                  verification["shrinks"]]],
+                "Differential verification", markdown))
 
         verdicts = self.verdict_counts()
         if verdicts:

@@ -8,6 +8,7 @@ from .circuits import (
     johnson_counter,
     mux_select_tree,
     parity_tree,
+    random_network,
     ripple_adder,
     sequential_decider,
     shift_register,
@@ -75,6 +76,7 @@ __all__ = [
     "stuck_output_detected",
     "synthesize",
     "full_adder",
+    "random_network",
     "ripple_adder",
     "parity_tree",
     "mux_select_tree",

@@ -7,6 +7,9 @@ patterns, toggle coverage and initialization convergence (section 6.6).
 
 from __future__ import annotations
 
+import random
+from typing import Optional, Union
+
 from .logic import LogicNetwork
 
 
@@ -194,6 +197,54 @@ def gray_counter(width: int = 3) -> LogicNetwork:
     net.add_gate(f"G{width - 1}", "buffer", [f"b{width - 1}"],
                  f"g{width - 1}")
     net.add_output(f"g{width - 1}")
+    return net
+
+
+#: Cell types the random generator draws from, with rough weights
+#: favouring the two-input gates (the interesting lowering paths:
+#: shared level shifters, series gating).
+_RANDOM_CELL_POOL = (
+    "buffer", "inverter",
+    "and2", "or2", "xor2", "xor2", "mux2",
+)
+
+
+def random_network(rng: Union[int, random.Random],
+                   n_gates: int = 4,
+                   n_inputs: int = 2,
+                   name: str = "random",
+                   cell_pool: Optional[tuple] = None) -> LogicNetwork:
+    """A seeded random combinational network of library cells.
+
+    Every gate draws its inputs uniformly from the signals defined so
+    far (primary inputs plus earlier gate outputs), so the result is a
+    well-formed DAG by construction; every sink signal becomes a primary
+    output.  ``rng`` is an integer seed or a ``random.Random`` — the
+    same seed always yields the same network, which is what the
+    differential-verification fuzzer (:mod:`repro.verify`) relies on to
+    make failures replayable.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    if n_gates < 1:
+        raise ValueError("need at least one gate")
+    if n_inputs < 1:
+        raise ValueError("need at least one primary input")
+    pool = cell_pool or _RANDOM_CELL_POOL
+    net = LogicNetwork(name)
+    signals = [net.add_input(f"i{k}") for k in range(n_inputs)]
+    for k in range(n_gates):
+        cell = rng.choice(pool)
+        n_in = {"buffer": 1, "inverter": 1, "mux2": 3}.get(cell, 2)
+        inputs = [rng.choice(signals) for _ in range(n_in)]
+        output = f"s{k}"
+        net.add_gate(f"G{k}", cell, inputs, output)
+        signals.append(output)
+    consumed = {inp for gate in net.gates.values() for inp in gate.inputs}
+    for gate in net.gates.values():
+        if gate.output not in consumed:
+            net.add_output(gate.output)
+    net.validate()
     return net
 
 

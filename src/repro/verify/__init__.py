@@ -1,0 +1,61 @@
+"""Differential verification: fuzzing, cross-engine oracles, shrinking.
+
+The subsystem behind ``python -m repro verify`` and the committed
+regression corpus in ``tests/corpus/`` — see ``docs/verification.md``.
+"""
+
+from .generate import (
+    SCENARIO_SCHEMA,
+    BuiltScenario,
+    GeneratorConfig,
+    Scenario,
+    ScenarioError,
+    build_scenario,
+    defect_sites,
+    load_scenario,
+    random_scenario,
+    save_scenario,
+)
+from .oracle import (
+    DEFAULT_ENGINES,
+    ENGINES_BY_NAME,
+    VERIFY_OPTIONS,
+    CheckResult,
+    Disagreement,
+    EngineConfig,
+    Tolerances,
+    cross_check,
+)
+from .session import (
+    FuzzFailure,
+    FuzzReport,
+    fuzz_session,
+    parse_budget,
+)
+from .shrink import shrink
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "ScenarioError",
+    "BuiltScenario",
+    "GeneratorConfig",
+    "random_scenario",
+    "build_scenario",
+    "defect_sites",
+    "save_scenario",
+    "load_scenario",
+    "EngineConfig",
+    "DEFAULT_ENGINES",
+    "ENGINES_BY_NAME",
+    "VERIFY_OPTIONS",
+    "Tolerances",
+    "Disagreement",
+    "CheckResult",
+    "cross_check",
+    "shrink",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_session",
+    "parse_budget",
+]

@@ -1,0 +1,201 @@
+"""Fuzz sessions: generate -> cross-check -> shrink -> serialize.
+
+One :func:`fuzz_session` call is the unit behind ``python -m repro
+verify``: it derives per-scenario seeds from a master seed, runs each
+scenario through the oracle matrix until a wall-clock budget or
+scenario cap is hit, shrinks every failure, and writes the minimized
+scenarios as replayable JSON (the same format the committed regression
+corpus under ``tests/corpus/`` uses).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..sim import SimOptions
+from ..telemetry import Telemetry
+from .generate import (
+    GeneratorConfig,
+    Scenario,
+    random_scenario,
+    save_scenario,
+)
+from .oracle import (
+    DEFAULT_ENGINES,
+    CheckResult,
+    EngineConfig,
+    Tolerances,
+    VERIFY_OPTIONS,
+    cross_check,
+)
+from .shrink import shrink
+
+_BUDGET_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(s|m|h)?\s*$")
+
+
+def parse_budget(text: str) -> float:
+    """Parse a wall-clock budget like ``"60s"``, ``"2m"`` or ``"300"``
+    (bare numbers are seconds) into seconds."""
+    match = _BUDGET_RE.match(text)
+    if not match:
+        raise ValueError(f"bad budget {text!r} (want e.g. 60s, 2m, 1h)")
+    value = float(match.group(1))
+    return value * {"s": 1.0, "m": 60.0, "h": 3600.0,
+                    None: 1.0}[match.group(2)]
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreeing scenario, before and after shrinking."""
+
+    scenario: Scenario
+    shrunk: Scenario
+    result: CheckResult
+    path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "disagreements": [d.to_dict()
+                              for d in self.result.disagreements],
+            "path": self.path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz session."""
+
+    seed: int
+    budget_s: float
+    n_scenarios: int = 0
+    n_engine_pairs: int = 0
+    n_checks: int = 0
+    elapsed_s: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    engines: Sequence[str] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"verify: seed={self.seed} budget={self.budget_s:g}s "
+            f"elapsed={self.elapsed_s:.1f}s",
+            f"  {self.n_scenarios} scenarios, "
+            f"{self.n_engine_pairs} engine pairs, "
+            f"{self.n_checks} checks "
+            f"({', '.join(self.engines)})",
+        ]
+        if self.ok:
+            lines.append("  no disagreements")
+        for failure in self.failures:
+            head = failure.result.disagreements[0]
+            lines.append(
+                f"  FAIL {failure.scenario.name}: "
+                f"{len(failure.result.disagreements)} disagreements, "
+                f"first {head.format()}")
+            lines.append(
+                f"       shrunk to {len(failure.shrunk.gates)} gates, "
+                f"{len(failure.shrunk.defects)} defects"
+                + (f" -> {failure.path}" if failure.path else ""))
+        return "\n".join(lines)
+
+
+def fuzz_session(seed: int = 0,
+                 budget_s: float = 60.0,
+                 max_scenarios: Optional[int] = None,
+                 engines: Sequence[EngineConfig] = DEFAULT_ENGINES,
+                 config: GeneratorConfig = GeneratorConfig(),
+                 tolerances: Tolerances = Tolerances(),
+                 base_options: SimOptions = VERIFY_OPTIONS,
+                 out_dir: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 shrink_failures: bool = True,
+                 max_failures: int = 10,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> FuzzReport:
+    """Fuzz until the budget, scenario cap or failure cap is reached."""
+    # A sink-less Telemetry is a no-op: spans/counters cost a dict each.
+    tel = telemetry if telemetry is not None else Telemetry()
+    report = FuzzReport(seed=seed, budget_s=budget_s,
+                        engines=tuple(e.name for e in engines))
+    seeder = random.Random(seed)
+    started = time.monotonic()
+    with tel.span("verify", seed=seed, budget_s=budget_s,
+                  engines=",".join(report.engines)):
+        while True:
+            if time.monotonic() - started >= budget_s:
+                break
+            if (max_scenarios is not None
+                    and report.n_scenarios >= max_scenarios):
+                break
+            if len(report.failures) >= max_failures:
+                break
+            scenario_seed = seeder.getrandbits(32)
+            scenario = random_scenario(scenario_seed, config)
+            with tel.span("verify.scenario", seed=scenario_seed,
+                          gates=len(scenario.gates)):
+                result = cross_check(scenario, engines,
+                                     tolerances=tolerances,
+                                     base_options=base_options)
+            report.n_scenarios += 1
+            report.n_engine_pairs += result.n_engine_pairs
+            report.n_checks += result.n_checks
+            tel.metrics.counter("verify.scenarios").add(1)
+            tel.metrics.counter("verify.engine_pairs").add(
+                result.n_engine_pairs)
+            tel.metrics.counter("verify.checks").add(result.n_checks)
+            if progress is not None and report.n_scenarios % 10 == 0:
+                progress(f"{report.n_scenarios} scenarios, "
+                         f"{len(report.failures)} failures")
+            if result.ok:
+                continue
+            tel.metrics.counter("verify.disagreements").add(
+                len(result.disagreements))
+            failure = _handle_failure(scenario, result, engines,
+                                      tolerances, base_options,
+                                      shrink_failures, out_dir, tel,
+                                      progress)
+            report.failures.append(failure)
+    report.elapsed_s = time.monotonic() - started
+    tel.flush_metrics()
+    return report
+
+
+def _handle_failure(scenario: Scenario, result: CheckResult,
+                    engines: Sequence[EngineConfig],
+                    tolerances: Tolerances, base_options: SimOptions,
+                    shrink_failures: bool, out_dir: Optional[str],
+                    tel: Telemetry,
+                    progress: Optional[Callable[[str], None]]
+                    ) -> FuzzFailure:
+    """Shrink a disagreeing scenario (pinned to the original failure
+    kind) and serialize the minimized form."""
+    first_kind = result.disagreements[0].kind
+
+    def failing(candidate: Scenario) -> bool:
+        check = cross_check(candidate, engines, tolerances=tolerances,
+                            base_options=base_options)
+        return any(d.kind == first_kind for d in check.disagreements)
+
+    shrunk = scenario
+    if shrink_failures:
+        with tel.span("verify.shrink", seed=scenario.seed,
+                      kind=first_kind):
+            shrunk = shrink(scenario, failing, progress=progress)
+    failure = FuzzFailure(scenario=scenario, shrunk=shrunk,
+                          result=result)
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{scenario.name}.json")
+        save_scenario(shrunk, path)
+        failure.path = path
+    return failure

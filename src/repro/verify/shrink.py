@@ -1,0 +1,144 @@
+"""Greedy counterexample minimization.
+
+When the oracle matrix finds a disagreement, the raw scenario is
+usually bigger than the bug: five gates, two defects and a transient
+grid when one gate and no defects would do.  :func:`shrink` walks a
+fixed menu of reductions — drop a defect, peel a sink gate, trim unused
+inputs, remove the detector, revert a technology override, simplify the
+transient — keeping a candidate only if the caller's predicate still
+fails on it, until a full round makes no progress.
+
+The predicate sees whole :class:`Scenario` objects and is typically
+``lambda s: not cross_check(s, ...).ok`` — optionally filtered to the
+original disagreement ``kind`` so the shrinker doesn't wander onto an
+unrelated failure.  Candidates that cannot even be built (a peeled gate
+was a defect's site) count as "does not fail" and are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .generate import Scenario
+
+Predicate = Callable[[Scenario], bool]
+
+
+def _still_fails(failing: Predicate, candidate: Scenario) -> bool:
+    try:
+        return bool(failing(candidate))
+    except Exception:
+        return False
+
+
+def _defect_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    for index in range(len(scenario.defects)):
+        defects = (scenario.defects[:index]
+                   + scenario.defects[index + 1:])
+        yield scenario.with_(defects=defects)
+
+
+def _gate_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Peel sink gates (outputs no other gate consumes), largest index
+    first — in generated networks later gates depend on earlier ones,
+    so peeling from the tail converges fastest."""
+    if len(scenario.gates) <= 1:
+        return
+    consumed = {name for gate in scenario.gates for name in gate[2]}
+    for index in reversed(range(len(scenario.gates))):
+        if scenario.gates[index][3] in consumed:
+            continue
+        gates = scenario.gates[:index] + scenario.gates[index + 1:]
+        yield scenario.with_(gates=gates)
+
+
+def _input_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Trim trailing unused primary inputs (names are positional, so
+    only the tail can go without renaming)."""
+    used = {name for gate in scenario.gates for name in gate[2]}
+    n = scenario.n_inputs
+    while n > 1 and f"i{n - 1}" not in used:
+        n -= 1
+    if n < scenario.n_inputs:
+        keep = {f"i{k}" for k in range(n)}
+        values = tuple((name, value)
+                       for name, value in scenario.input_values
+                       if name in keep)
+        yield scenario.with_(n_inputs=n, input_values=values)
+
+
+def _detector_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    if scenario.detector_variant != 0:
+        yield scenario.with_(detector_variant=0, detector_pair=0)
+
+
+def _tech_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    for index in range(len(scenario.tech_overrides)):
+        overrides = (scenario.tech_overrides[:index]
+                     + scenario.tech_overrides[index + 1:])
+        yield scenario.with_(tech_overrides=overrides)
+
+
+def _transient_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    if scenario.transient is None:
+        return
+    yield scenario.with_(transient=None)
+    cycles, points, frequency = scenario.transient
+    if points > 16:
+        yield scenario.with_(transient=(cycles, max(16, points // 2),
+                                        frequency))
+
+
+_PASSES = (
+    _defect_candidates,
+    _gate_candidates,
+    _input_candidates,
+    _detector_candidates,
+    _tech_candidates,
+    _transient_candidates,
+)
+
+
+def shrink(scenario: Scenario, failing: Predicate,
+           max_rounds: int = 32,
+           progress: Optional[Callable[[str], None]] = None) -> Scenario:
+    """Minimize ``scenario`` while ``failing`` keeps returning True.
+
+    ``failing(scenario)`` must be True on entry; the result is the
+    smallest scenario found that still satisfies it.  Greedy first-fit:
+    within each round the passes run in order and the first accepted
+    candidate restarts the round, so cost is (accepted reductions) x
+    (candidates per round) predicate evaluations.
+    """
+    if not _still_fails(failing, scenario):
+        raise ValueError("shrink needs a failing scenario to start from")
+    current = scenario
+    for _ in range(max_rounds):
+        reduced = False
+        for reduction_pass in _PASSES:
+            for candidate in reduction_pass(current):
+                if _still_fails(failing, candidate):
+                    current = candidate.with_(
+                        name=f"{scenario.name}-min")
+                    reduced = True
+                    if progress is not None:
+                        progress(_describe(current))
+                    break
+            if reduced:
+                break
+        if not reduced:
+            break
+    return current
+
+
+def _describe(scenario: Scenario) -> str:
+    parts: List[str] = [f"{len(scenario.gates)} gates"]
+    if scenario.defects:
+        parts.append(f"{len(scenario.defects)} defects")
+    if scenario.detector_variant:
+        parts.append(f"variant {scenario.detector_variant}")
+    if scenario.tech_overrides:
+        parts.append(f"{len(scenario.tech_overrides)} tech overrides")
+    if scenario.transient is not None:
+        parts.append("transient")
+    return "shrunk to " + ", ".join(parts)

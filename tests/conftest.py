@@ -13,6 +13,11 @@ stalling it forever.
 Individual tests may override the budget with
 ``@pytest.mark.timeout(seconds)`` — the same marker pytest-timeout
 uses, so the override works under either mechanism.
+
+Hypothesis profiles: property tests run under the ``dev`` profile by
+default (few examples, fast inner loop) and the ``ci`` profile in CI
+(more examples, derandomized so every run checks the same cases and
+failures reproduce).  Select with ``HYPOTHESIS_PROFILE=ci pytest``.
 """
 
 import os
@@ -21,6 +26,20 @@ import signal
 import pytest
 
 DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:                                  # pragma: no cover
+    pass  # property tests self-skip without hypothesis
+else:
+    _COMMON = dict(deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile("dev", max_examples=25, **_COMMON)
+    # derandomize pins the example stream: CI failures replay locally
+    # with HYPOTHESIS_PROFILE=ci, and green CI is not luck.
+    settings.register_profile("ci", max_examples=150, derandomize=True,
+                              print_blob=True, **_COMMON)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 try:
     import pytest_timeout  # noqa: F401  (presence check only)

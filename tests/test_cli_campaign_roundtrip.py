@@ -1,0 +1,105 @@
+"""CLI round-trip: an interrupted checkpointed campaign resumed from
+its checkpoint must produce record-identical results to an unbroken
+run.  Exercises the real ``python -m repro campaign`` entry point via
+subprocess, including a simulated mid-run kill (truncated checkpoint
+with a torn final line)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import load_checkpoint
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+TOTAL_DEFECTS = 6
+PARTIAL_DEFECTS = 3
+
+
+def _run_campaign(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "repro", "campaign",
+               "--stages", "2", "--kinds", "pipe",
+               "--pipe-resistances", "2e3", "4e3", "8e3",
+               *extra]
+    return subprocess.run(command, cwd=tmp_path, env=env,
+                          capture_output=True, text=True, timeout=300)
+
+
+def _comparable(entries):
+    """Checkpoint records minus the run-specific performance fields."""
+    keep = ("verdicts", "converged", "solver", "quarantined")
+    return {key: {name: entry.get(name) for name in keep}
+            for key, entry in entries.items()}
+
+
+@pytest.fixture(scope="module")
+def roundtrip(tmp_path_factory):
+    """One partial run + simulated kill + resume, one unbroken run."""
+    tmp_path = tmp_path_factory.mktemp("campaign_cli")
+    resumed_ck = tmp_path / "resumed.jsonl"
+    fresh_ck = tmp_path / "fresh.jsonl"
+
+    partial = _run_campaign(tmp_path, "--limit", str(PARTIAL_DEFECTS),
+                            "--checkpoint", str(resumed_ck))
+    assert partial.returncode == 0, partial.stderr
+
+    # Simulate dying mid-write: append a torn (truncated) JSON line.
+    with open(resumed_ck, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "record", "schema"')
+
+    resumed = _run_campaign(tmp_path, "--limit", str(TOTAL_DEFECTS),
+                            "--checkpoint", str(resumed_ck), "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+
+    fresh = _run_campaign(tmp_path, "--limit", str(TOTAL_DEFECTS),
+                          "--checkpoint", str(fresh_ck))
+    assert fresh.returncode == 0, fresh.stderr
+    return resumed, fresh, resumed_ck, fresh_ck
+
+
+def test_resume_skips_completed_defects(roundtrip):
+    resumed, _, _, _ = roundtrip
+    assert f"{PARTIAL_DEFECTS} resumed from checkpoint" in resumed.stdout
+
+
+def test_resumed_equals_fresh_record_for_record(roundtrip):
+    _, _, resumed_ck, fresh_ck = roundtrip
+    resumed_entries = load_checkpoint(resumed_ck)
+    fresh_entries = load_checkpoint(fresh_ck)
+    assert len(resumed_entries) == TOTAL_DEFECTS
+    assert sorted(resumed_entries) == sorted(fresh_entries)
+    assert _comparable(resumed_entries) == _comparable(fresh_entries)
+
+
+def test_torn_checkpoint_line_is_ignored(roundtrip):
+    """The injected torn line must not surface as a record, and every
+    surviving line must be valid JSON exactly once per defect."""
+    _, _, resumed_ck, _ = roundtrip
+    with open(resumed_ck, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line]
+    parsed = []
+    torn = 0
+    for line in lines:
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            torn += 1
+    assert torn == 1  # exactly the line the simulated crash tore
+    keys = [e["key"] for e in parsed if e.get("type") == "record"]
+    assert len(keys) == len(set(keys)) == TOTAL_DEFECTS
+
+
+def test_reports_match_between_resumed_and_fresh(roundtrip):
+    """The human-readable coverage table (verdict section of stdout)
+    must be identical whether or not the run was interrupted."""
+    resumed, fresh, _, _ = roundtrip
+
+    def table(text):
+        return [line for line in text.splitlines()
+                if "|" in line or "%" in line]
+
+    assert table(resumed.stdout) == table(fresh.stdout)

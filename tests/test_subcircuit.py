@@ -1,0 +1,119 @@
+"""SubCircuit flattening: prefixing, port mapping, nesting, errors."""
+
+import pytest
+
+from repro.circuit.components import Resistor, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.subcircuit import (
+    GLOBAL_NETS,
+    CellInstance,
+    SubCircuit,
+    instantiate,
+)
+from repro.sim import SimOptions, operating_point
+
+
+def _divider_cell() -> SubCircuit:
+    """Two-resistor divider: in -> mid -> out, mid is internal."""
+    cell = SubCircuit("divider", ports=["in", "out"])
+    cell.circuit.add(Resistor("R1", "in", "mid", 1e3))
+    cell.circuit.add(Resistor("R2", "mid", "out", 1e3))
+    return cell
+
+
+def test_flattening_prefixes_names_and_internal_nets():
+    parent = Circuit()
+    added = _divider_cell().instantiate(parent, "X1",
+                                        {"in": "a", "out": "b"})
+    assert [c.name for c in added] == ["X1.R1", "X1.R2"]
+    assert parent["X1.R1"].net("p") == "a"
+    assert parent["X1.R1"].net("n") == "X1.mid"
+    assert parent["X1.R2"].net("n") == "b"
+
+
+def test_template_is_not_mutated_by_instantiation():
+    cell = _divider_cell()
+    parent = Circuit()
+    cell.instantiate(parent, "X1", {"in": "a", "out": "b"})
+    cell.instantiate(parent, "X2", {"in": "b", "out": "0"})
+    assert cell.circuit["R1"].net("p") == "in"
+    assert cell.circuit["R1"].net("n") == "mid"
+    assert {"X1.mid", "X2.mid"} <= set(parent.nets())
+
+
+def test_global_nets_pass_through_unprefixed():
+    cell = SubCircuit("pulldown", ports=["in"])
+    cell.circuit.add(Resistor("R1", "in", "0", 1e3))
+    parent = Circuit()
+    cell.instantiate(parent, "X1", {"in": "a"})
+    assert parent["X1.R1"].net("n") == "0"
+    assert "0" in GLOBAL_NETS
+    cell_g = SubCircuit("railed", ports=["in"], globals_=["vdd"])
+    cell_g.circuit.add(Resistor("R1", "in", "vdd", 1e3))
+    cell_g.instantiate(parent, "X2", {"in": "a"})
+    assert parent["X2.R1"].net("n") == "vdd"
+
+
+def test_internal_nets_listing():
+    cell = _divider_cell()
+    assert cell.internal_nets() == ["mid"]
+
+
+def test_nested_subcircuits_flatten_with_compound_prefixes():
+    """A cell built from instances of another cell: flattening the
+    outer cell re-prefixes the already-prefixed inner names."""
+    inner = _divider_cell()
+    outer = SubCircuit("chain", ports=["in", "out"])
+    inner.instantiate(outer.circuit, "A", {"in": "in", "out": "link"})
+    inner.instantiate(outer.circuit, "B", {"in": "link", "out": "out"})
+
+    parent = Circuit()
+    parent.add(VoltageSource("V1", "top_in", "0", 2.0))
+    parent.add(Resistor("RL", "top_out", "0", 1e3))
+    cells = outer.instantiate(parent, "U1",
+                              {"in": "top_in", "out": "top_out"})
+    assert {c.name for c in cells} == {
+        "U1.A.R1", "U1.A.R2", "U1.B.R1", "U1.B.R2"}
+    # The inner link net and the two mids are internal at every level.
+    assert {"U1.link", "U1.A.mid", "U1.B.mid"} <= set(parent.nets())
+    # The flattened composition solves: 4 x 1k in series off 2 V.
+    solution = operating_point(parent, SimOptions())
+    assert solution.voltage("U1.link") == pytest.approx(1.2, abs=1e-6)
+    assert solution.voltage("top_out") == pytest.approx(0.4, abs=1e-6)
+
+
+def test_name_collision_between_instances_raises():
+    parent = Circuit()
+    cell = _divider_cell()
+    cell.instantiate(parent, "X1", {"in": "a", "out": "b"})
+    with pytest.raises(ValueError, match="duplicate component name"):
+        cell.instantiate(parent, "X1", {"in": "c", "out": "d"})
+
+
+def test_duplicate_port_names_rejected():
+    with pytest.raises(ValueError, match="duplicate port names"):
+        SubCircuit("bad", ports=["a", "a"])
+
+
+def test_unconnected_ports_rejected():
+    with pytest.raises(ValueError, match="unconnected ports"):
+        _divider_cell().instantiate(Circuit(), "X1", {"in": "a"})
+
+
+def test_unknown_ports_rejected():
+    with pytest.raises(ValueError, match="unknown ports"):
+        _divider_cell().instantiate(
+            Circuit(), "X1", {"in": "a", "out": "b", "bogus": "c"})
+
+
+def test_cell_instance_accessors():
+    parent = Circuit()
+    record = instantiate(parent, _divider_cell(), "DUT",
+                         {"in": "a", "out": "b"})
+    assert isinstance(record, CellInstance)
+    assert record.port("in") == "a"
+    assert record.component("R2").name == "DUT.R2"
+    with pytest.raises(KeyError, match="no port"):
+        record.port("nope")
+    with pytest.raises(KeyError, match="no component"):
+        record.component("R9")

@@ -1,0 +1,111 @@
+"""Scenario generator: determinism, serialization, buildability."""
+
+import pytest
+
+from repro.faults.defects import defect_from_dict, defect_to_dict, Pipe
+from repro.testgen import random_network
+from repro.verify import (
+    GeneratorConfig,
+    Scenario,
+    ScenarioError,
+    build_scenario,
+    load_scenario,
+    random_scenario,
+    save_scenario,
+)
+
+SEEDS = range(6)
+
+
+def test_random_network_deterministic():
+    a = random_network(7, n_gates=5, n_inputs=3)
+    b = random_network(7, n_gates=5, n_inputs=3)
+    assert [(g.name, g.cell_type, g.inputs, g.output)
+            for g in a.gates.values()] == \
+           [(g.name, g.cell_type, g.inputs, g.output)
+            for g in b.gates.values()]
+    assert a.primary_outputs == b.primary_outputs
+
+
+def test_random_network_well_formed():
+    for seed in range(20):
+        net = random_network(seed, n_gates=6, n_inputs=3)
+        net.validate()
+        assert net.primary_outputs, "every network must expose a sink"
+        # Combinational only: the analog build drives inputs with DC.
+        assert not list(net.sequential_gates())
+
+
+def test_random_scenario_deterministic():
+    assert random_scenario(42) == random_scenario(42)
+    assert random_scenario(42) != random_scenario(43)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scenario_dict_roundtrip(seed):
+    scenario = random_scenario(seed)
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scenario_file_roundtrip(seed, tmp_path):
+    scenario = random_scenario(seed)
+    path = tmp_path / "scenario.json"
+    save_scenario(scenario, path)
+    assert load_scenario(path) == scenario
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scenario_builds(seed):
+    scenario = random_scenario(seed)
+    built = build_scenario(scenario)
+    # Every primary input is driven differentially.
+    for k in range(scenario.n_inputs):
+        assert f"V_i{k}" in built.circuit
+        assert f"V_i{k}b" in built.circuit
+    assert len(built.output_pairs) == len(scenario.gates)
+    if scenario.detector_variant == 3:
+        assert built.monitor is not None
+    elif scenario.detector_variant in (1, 2):
+        assert built.detector is not None
+    assert len(built.defects) == len(scenario.defects)
+
+
+def test_defect_dict_roundtrip():
+    pipe = Pipe("G0.Q3", 4e3)
+    data = defect_to_dict(pipe)
+    assert data["class"] == "Pipe"
+    assert defect_from_dict(data) == pipe
+
+
+def test_defect_from_dict_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown defect class"):
+        defect_from_dict({"class": "Nope"})
+
+
+def test_bad_schema_rejected():
+    data = random_scenario(0).to_dict()
+    data["schema"] = 999
+    with pytest.raises(ScenarioError, match="schema"):
+        Scenario.from_dict(data)
+
+
+def test_invalid_defect_site_rejected():
+    scenario = random_scenario(0).with_(
+        defects=(defect_to_dict(Pipe("NOT_A_DEVICE.Q1")),))
+    with pytest.raises(ScenarioError, match="defect site"):
+        build_scenario(scenario)
+
+
+def test_generator_respects_config():
+    config = GeneratorConfig(max_gates=2, max_inputs=1, max_defects=1,
+                             detector_variants=(3,),
+                             transient_fraction=0.0)
+    for seed in range(10):
+        scenario = random_scenario(seed, config)
+        assert 1 <= len(scenario.gates) <= 2
+        assert scenario.n_inputs == 1
+        assert len(scenario.defects) <= 1
+        assert scenario.detector_variant == 3
+        assert scenario.transient is None

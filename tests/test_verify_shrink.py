@@ -1,0 +1,83 @@
+"""Shrinker: minimizes while preserving the failure, rejects
+unbuildable candidates, terminates."""
+
+import pytest
+
+from repro.verify import random_scenario, shrink
+from repro.verify.generate import GeneratorConfig, build_scenario
+
+
+def _big_scenario():
+    config = GeneratorConfig(min_gates=4, max_gates=6, max_inputs=3,
+                             max_defects=2)
+    for seed in range(50):
+        scenario = random_scenario(seed, config)
+        if (len(scenario.gates) >= 4 and scenario.defects
+                and scenario.tech_overrides
+                and scenario.detector_variant):
+            return scenario
+    raise AssertionError("no suitably rich scenario in seed range")
+
+
+def test_shrink_requires_failing_input():
+    with pytest.raises(ValueError, match="failing scenario"):
+        shrink(random_scenario(0), lambda s: False)
+
+
+def test_shrink_to_single_gate():
+    """With an always-failing predicate everything reducible goes."""
+    scenario = _big_scenario()
+    shrunk = shrink(scenario, lambda s: True)
+    assert len(shrunk.gates) == 1
+    assert not shrunk.defects
+    assert shrunk.detector_variant == 0
+    assert not shrunk.tech_overrides
+    assert shrunk.transient is None
+    assert shrunk.name.endswith("-min")
+
+
+def test_shrink_preserves_predicate():
+    """A predicate pinned to a property keeps that property."""
+    scenario = _big_scenario()
+    target = scenario.defects[0]
+
+    def failing(candidate):
+        return target in candidate.defects
+
+    shrunk = shrink(scenario, failing)
+    assert target in shrunk.defects
+    assert len(shrunk.defects) == 1
+    assert len(shrunk.gates) <= len(scenario.gates)
+
+
+def test_shrunk_scenarios_stay_buildable():
+    scenario = _big_scenario()
+    shrunk = shrink(scenario, lambda s: True)
+    build_scenario(shrunk)
+
+
+def test_shrink_counts_build_failures_as_passing():
+    """A candidate that cannot build must never be accepted — here the
+    predicate crashes on scenarios without defects, and shrink treats
+    the exception as 'does not fail'."""
+    scenario = _big_scenario()
+
+    def failing(candidate):
+        if not candidate.defects:
+            raise RuntimeError("boom")
+        return True
+
+    shrunk = shrink(scenario, failing)
+    assert shrunk.defects
+
+
+def test_shrink_trims_unused_inputs():
+    scenario = _big_scenario()
+    shrunk = shrink(scenario, lambda s: True)
+    # The surviving gate consumes at most its own inputs; every
+    # trailing unused input was dropped with its drive value.
+    used = {name for gate in shrunk.gates for name in gate[2]}
+    names = {name for name, _ in shrunk.input_values}
+    assert names == {f"i{k}" for k in range(shrunk.n_inputs)}
+    if f"i{shrunk.n_inputs - 1}" not in used:
+        assert shrunk.n_inputs == 1  # only the irreducible floor stays
