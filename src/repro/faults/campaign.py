@@ -26,11 +26,12 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..parallel import MapFailure, parallel_map
+from ..sim.batch import solve_batch
 from ..sim.dc import (ConvergenceError, DcSolution, DeltaContext, NewtonStats,
                       _newton_span, delta_solve, operating_point)
 from ..sim.mna import CACHE_STATS, SingularMatrixError, structure_for
 from ..sim.options import DEFAULT_OPTIONS, SimOptions
-from ..telemetry import Telemetry, telemetry_for
+from ..telemetry import Telemetry, record_newton_stats, telemetry_for
 from .defects import Defect
 from .injector import inject
 
@@ -185,6 +186,15 @@ class CampaignResult:
     #: Excluded from equality: a resumed result that reproduces the same
     #: records *is* the same result.
     n_resumed: int = field(default=0, compare=False)
+    #: Batched-engine observability, populated by ``batched=True`` runs
+    #: and excluded from equality (how the records were computed is not
+    #: part of the result).  ``n_batched_solves`` counts stacked linear
+    #: solves, ``batch_occupancy`` their summed member counts (mean
+    #: occupancy = occupancy / solves), ``batch_fallbacks`` the members
+    #: that left a batch and were re-solved per-defect.
+    n_batched_solves: int = field(default=0, compare=False)
+    batch_occupancy: int = field(default=0, compare=False)
+    batch_fallbacks: int = field(default=0, compare=False)
 
     def coverage_matrix(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
         """kind -> oracle -> (caught, total); non-converged defects
@@ -259,6 +269,9 @@ class CampaignResult:
             stats.gmin_steps += record.gmin_steps
             stats.source_steps += record.source_steps
         stats.woodbury_fallbacks = self.woodbury_fallbacks
+        stats.n_batched_solves = self.n_batched_solves
+        stats.batch_occupancy = self.batch_occupancy
+        stats.batch_fallbacks = self.batch_fallbacks
         return stats
 
     @property
@@ -527,6 +540,150 @@ def _solve_defect_captured(defect: Defect, *, solver, kwargs: Dict
     return record, telemetry.events(), telemetry.metrics.snapshot()
 
 
+#: Default number of defects per stacked solve.  Large enough that the
+#: vectorised device evaluation amortises the per-iteration Python
+#: overhead (wider batches keep winning well past this on the perf
+#: bench, but with shrinking returns), small enough that a parallel
+#: campaign still gets several batches to spread across workers and
+#: that late-converging members do not ride along as dead batch rows
+#: for many iterations.
+DEFAULT_BATCH_SIZE = 64
+
+#: Zeroed batch-counter dict (the shape `_solve_defect_batch` returns).
+_BATCH_COUNTER_KEYS = ("n_batched_solves", "batch_occupancy",
+                       "batch_fallbacks")
+
+
+def _judge_batched(defect: Defect, oracles: Sequence[Oracle],
+                   context: DeltaContext, outcome, options: SimOptions
+                   ) -> FaultRecord:
+    """Turn one batch-converged member into a FaultRecord.
+
+    The operating point is bit-identical to what the serial delta path
+    would have produced (the batched engine's core guarantee), so the
+    oracles see exactly the solution they would have judged serially;
+    only the ``solver`` tag records that a batch did the work.
+    """
+    tel = telemetry_for(options)
+
+    def build() -> FaultRecord:
+        solution = DcSolution(context.structure, outcome.x, outcome.stats)
+        verdicts = {oracle.name: oracle.judge(solution)
+                    for oracle in oracles}
+        record = FaultRecord(defect=defect, verdicts=verdicts,
+                             solver="batched")
+        record.merge_stats(outcome.stats)
+        return record
+
+    if tel is None:
+        return _guarded(defect, oracles, build)
+    with tel.span("defect", defect=defect.describe(),
+                  kind=defect.kind) as span:
+        record = _guarded(defect, oracles, build)
+        tel.record_newton(outcome.stats)
+        _annotate_defect_span(span, record)
+        return record
+
+
+def _solve_defect_batch(batch: Sequence[Defect], *, circuit: Circuit,
+                        oracles: Sequence[Oracle], options: SimOptions,
+                        warm: Optional[Tuple[Dict[str, float],
+                                             Dict[str, float]]],
+                        x_ref: np.ndarray
+                        ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+    """Campaign unit of work on the batched fast path.
+
+    Low-rank defects are solved as one stacked batch
+    (:func:`repro.sim.batch.solve_batch`); everything else — opens,
+    defects whose eligibility scan fails, and any member that diverges
+    or trips the deadline inside the batch — re-enters the serial
+    per-defect ladder (delta → warm full → cold retry), so its record is
+    bit-identical to a serial campaign's.  Module-level so the parallel
+    executor can pickle it.  Returns the records in batch order plus the
+    batch counters.
+    """
+    tel = telemetry_for(options)
+    records: List[Optional[FaultRecord]] = [None] * len(batch)
+    counters = dict.fromkeys(_BATCH_COUNTER_KEYS, 0)
+    try:
+        context = _delta_context(circuit, options, x_ref)
+    except Exception:
+        # The serial path rebuilds (and per-defect quarantines on) the
+        # same failure, so nothing is lost by degrading the whole batch.
+        context = None
+    if context is not None:
+        eligible: List[int] = []
+        specs: List[Tuple[List[Tuple[int, int]], List[float]]] = []
+        for position, defect in enumerate(batch):
+            try:
+                deltas = defect.delta_conductances(circuit)
+                if deltas is None:
+                    continue
+                pairs = [(context.structure.index(p),
+                          context.structure.index(n))
+                         for p, n, _ in deltas]
+            except Exception:
+                continue  # serial path reproduces (and records) this
+            eligible.append(position)
+            specs.append((pairs, [g for _, _, g in deltas]))
+        outcomes, batch_counters = solve_batch(context, specs, options)
+        for key in _BATCH_COUNTER_KEYS:
+            counters[key] += getattr(batch_counters, key)
+        if tel is not None:
+            # Batch-level counters are recorded once here (the members'
+            # own solve stats flow through their records/defect spans);
+            # bypasses the per-solve histogram, which would otherwise
+            # see a phantom zero-iteration solve.
+            record_newton_stats(
+                tel.metrics,
+                NewtonStats(strategy="batched", **counters))
+        for position, outcome in zip(eligible, outcomes):
+            if outcome.x is not None:
+                records[position] = _judge_batched(batch[position], oracles,
+                                                   context, outcome, options)
+    result: List[FaultRecord] = []
+    for position, defect in enumerate(batch):
+        record = records[position]
+        if record is None:
+            record = _solve_defect_delta(defect, circuit=circuit,
+                                         oracles=oracles, options=options,
+                                         warm=warm, x_ref=x_ref)
+        result.append(record)
+    return result, counters
+
+
+def _solve_batch_captured(batch: Sequence[Defect], *, kwargs: Dict
+                          ) -> Tuple[Tuple[List[FaultRecord],
+                                           Dict[str, int]],
+                                     List[Dict], Dict]:
+    """Worker-process wrapper for one traced batch (see
+    :func:`_solve_defect_captured` for the capture/merge contract)."""
+    telemetry = Telemetry.capturing()
+    kwargs = dict(kwargs,
+                  options=replace(kwargs["options"], telemetry=telemetry))
+    value = _solve_defect_batch(batch, **kwargs)
+    return value, telemetry.events(), telemetry.metrics.snapshot()
+
+
+def _batch_value_to_records(batch: Sequence[Defect],
+                            oracles: Sequence[Oracle], value: Any
+                            ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+    """Normalize one batch result slot (records or a worker failure).
+
+    ``value`` is ``(records, counters)`` from :func:`_solve_defect_batch`
+    — the caller unwraps capture tuples first — or a
+    :class:`~repro.parallel.MapFailure`, which quarantines every defect
+    of the batch with the worker reason.
+    """
+    if isinstance(value, MapFailure):
+        reason = (f"worker {value.stage} failure after {value.attempts} "
+                  f"attempt(s): {value.error_type}: {value.error}")
+        return ([_quarantine_record(defect, oracles, reason)
+                 for defect in batch], dict.fromkeys(_BATCH_COUNTER_KEYS, 0))
+    records, counters = value
+    return list(records), dict(counters)
+
+
 # ---------------------------------------------------------------------------
 # Checkpointing: append-only JSONL of completed records, keyed by defect
 # identity, so a crashed campaign resumes instead of restarting.
@@ -667,6 +824,8 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                  options: SimOptions = DEFAULT_OPTIONS,
                  warm_start: bool = True,
                  delta: bool = False,
+                 batched: bool = False,
+                 batch_size: Optional[int] = None,
                  parallel: bool = False,
                  workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
@@ -708,6 +867,22 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
     Sherman-Morrison-Woodbury chords on sparse); topology-changing
     defects (opens) and non-converging delta solves fall back to the
     conventional path, counted in :attr:`CampaignResult.woodbury_fallbacks`.
+
+    ``batched=True`` goes one step further: defects are partitioned into
+    batches of ``batch_size`` (default :data:`DEFAULT_BATCH_SIZE`) and
+    each batch's low-rank members are solved as *one stacked Newton
+    iteration* — vectorised device evaluation over ``(n_defects,
+    n_devices)`` arrays and a multi-RHS linear solve per iteration (see
+    :func:`repro.sim.batch.solve_batch`), with per-defect convergence
+    masking.  Verdicts are bit-identical to the serial engines; any
+    member that diverges or trips the deadline inside the batch falls
+    back to the serial per-defect ladder (counted in
+    :attr:`CampaignResult.batch_fallbacks`), and ineligible defects
+    (opens, fallback devices) take the serial path directly.  Batch
+    work is observable via :attr:`CampaignResult.n_batched_solves` /
+    ``batch_occupancy`` / ``batch_fallbacks`` and the matching
+    ``campaign.*`` telemetry counters.
+
     ``parallel=True`` fans the per-defect solves out over a process pool
     (``workers`` processes, work split into ``chunk_size`` pieces — see
     :func:`repro.parallel.parallel_map`); results are returned in defect
@@ -728,19 +903,25 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
     defects = list(defects)
     if tel is None:
         return _run_campaign_impl(circuit, defects, oracles, options,
-                                  warm_start, delta, parallel, workers,
+                                  warm_start, delta, batched, batch_size,
+                                  parallel, workers,
                                   chunk_size, progress, checkpoint, resume,
                                   None, None)
     cache_before = dict(CACHE_STATS)
     with tel.span("campaign", n_defects=len(defects),
                   oracles=[oracle.name for oracle in oracles],
-                  warm_start=warm_start, delta=delta,
+                  warm_start=warm_start, delta=delta, batched=batched,
                   parallel=parallel) as span:
         result = _run_campaign_impl(circuit, defects, oracles, options,
-                                    warm_start, delta, parallel, workers,
+                                    warm_start, delta, batched, batch_size,
+                                    parallel, workers,
                                     chunk_size, progress, checkpoint, resume,
                                     tel, span)
         aggregate = result.aggregate_stats()
+        if batched:
+            span.set(n_batched_solves=result.n_batched_solves,
+                     batch_occupancy=result.batch_occupancy,
+                     batch_fallbacks=result.batch_fallbacks)
         span.set(n_converged=sum(1 for r in result.records if r.converged),
                  solver_counts=result.solver_counts(),
                  woodbury_fallbacks=result.woodbury_fallbacks,
@@ -773,7 +954,8 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
 
 def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
                        oracles: Sequence[Oracle], options: SimOptions,
-                       warm_start: bool, delta: bool, parallel: bool,
+                       warm_start: bool, delta: bool, batched: bool,
+                       batch_size: Optional[int], parallel: bool,
                        workers: Optional[int], chunk_size: Optional[int],
                        progress: Optional[Callable[[int, int, float], None]],
                        checkpoint, resume, tel, span) -> CampaignResult:
@@ -804,9 +986,10 @@ def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
             # forward when resuming from a different one.
             writer.write(record)
     try:
-        records_todo = _solve_todo(circuit, todo, oracles, options,
-                                   warm_start, delta, parallel, workers,
-                                   chunk_size, progress, writer, tel, span)
+        records_todo, batch_totals = _solve_todo(
+            circuit, todo, oracles, options, warm_start, delta, batched,
+            batch_size, parallel, workers, chunk_size, progress, writer,
+            tel, span)
     finally:
         if writer is not None:
             writer.close()
@@ -815,18 +998,27 @@ def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
     records = [resumed.get(defect_key(d)) or fresh[defect_key(d)]
                for d in defects]
     return CampaignResult(records=records, oracle_names=oracle_names,
-                          n_resumed=len(resumed))
+                          n_resumed=len(resumed),
+                          n_batched_solves=batch_totals["n_batched_solves"],
+                          batch_occupancy=batch_totals["batch_occupancy"],
+                          batch_fallbacks=batch_totals["batch_fallbacks"])
 
 
 def _solve_todo(circuit: Circuit, todo: List[Defect],
                 oracles: Sequence[Oracle], options: SimOptions,
-                warm_start: bool, delta: bool, parallel: bool,
+                warm_start: bool, delta: bool, batched: bool,
+                batch_size: Optional[int], parallel: bool,
                 workers: Optional[int], chunk_size: Optional[int],
                 progress: Optional[Callable[[int, int, float], None]],
-                writer, tel, span) -> List[FaultRecord]:
-    """Solve the not-yet-checkpointed defects and return their records."""
+                writer, tel, span
+                ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+    """Solve the not-yet-checkpointed defects.
+
+    Returns the fresh records in ``todo`` order plus the accumulated
+    batch counters (zeros for the per-defect engines)."""
+    batch_totals = dict.fromkeys(_BATCH_COUNTER_KEYS, 0)
     if not todo:
-        return []
+        return [], batch_totals
     # The solve deadline is a *per-defect* budget: the fault-free
     # reference is the baseline every oracle and warm start needs, so it
     # solves unbudgeted (a failure here is a hard error, not a
@@ -848,6 +1040,12 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
     # on they get a capturing wrapper instead, and their traces are
     # grafted back into the parent trace below.
     solve_options = replace(options, telemetry=None) if parallel else options
+    if batched:
+        return _solve_todo_batched(circuit, todo, oracles, options,
+                                   solve_options, warm, reference,
+                                   batch_size, parallel, workers,
+                                   chunk_size, progress, writer, tel, span,
+                                   batch_totals)
     kwargs: Dict = dict(circuit=circuit, oracles=tuple(oracles),
                         options=solve_options, warm=warm)
     solver = _solve_defect
@@ -893,4 +1091,76 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
             _record, events, snapshot = value
             tel.tracer.ingest(events, parent_id=parent_id)
             tel.metrics.merge(snapshot)
-    return records
+    return records, batch_totals
+
+
+def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
+                        oracles: Sequence[Oracle], options: SimOptions,
+                        solve_options: SimOptions, warm,
+                        reference: DcSolution, batch_size: Optional[int],
+                        parallel: bool, workers: Optional[int],
+                        chunk_size: Optional[int],
+                        progress: Optional[Callable[[int, int, float],
+                                                    None]],
+                        writer, tel, span, batch_totals: Dict[str, int]
+                        ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+    """Batched counterpart of the per-defect solve loop.
+
+    The unit of work handed to :func:`repro.parallel.parallel_map` is a
+    whole *batch* of defects (one stacked solve plus its per-defect
+    fallbacks), so parallel batched campaigns keep every fault-tolerance
+    property of the per-defect path — chunk salvage, hung-worker
+    quarantine, checkpoint streaming — at batch granularity.
+    """
+    size = batch_size if batch_size and batch_size > 0 else DEFAULT_BATCH_SIZE
+    batches = [todo[i:i + size] for i in range(0, len(todo), size)]
+    kwargs: Dict = dict(circuit=circuit, oracles=tuple(oracles),
+                        options=solve_options, warm=warm,
+                        x_ref=reference.x.copy())
+    capture = parallel and tel is not None
+    if capture:
+        solve = functools.partial(_solve_batch_captured, kwargs=kwargs)
+    else:
+        solve = functools.partial(_solve_defect_batch, **kwargs)
+
+    def unwrap(value):
+        return value[0] if capture and isinstance(value, tuple) else value
+
+    start = time.perf_counter()
+    defects_done = [0]
+
+    def on_result(index: int, value) -> None:
+        # parallel_map's own progress callback counts *batches*; defect
+        # counts (and the checkpoint stream) come from here instead.
+        batch_records, _ = _batch_value_to_records(batches[index], oracles,
+                                                   unwrap(value))
+        if writer is not None:
+            for record in batch_records:
+                writer.write(record)
+        if progress is not None:
+            defects_done[0] += len(batch_records)
+            progress(defects_done[0], len(todo),
+                     time.perf_counter() - start)
+
+    raw = parallel_map(solve, batches, workers=workers,
+                       chunk_size=chunk_size, serial=not parallel,
+                       on_result=on_result,
+                       chunk_timeout=(options.chunk_timeout_s
+                                      if options.chunk_timeout_s > 0
+                                      else None),
+                       max_chunk_retries=options.max_chunk_retries,
+                       retry_backoff=options.chunk_retry_backoff_s,
+                       on_error="return")
+    records: List[FaultRecord] = []
+    parent_id = span.span_id if span is not None else None
+    for batch, value in zip(batches, raw):
+        if capture and isinstance(value, tuple):
+            _value, events, snapshot = value
+            tel.tracer.ingest(events, parent_id=parent_id)
+            tel.metrics.merge(snapshot)
+        batch_records, counters = _batch_value_to_records(batch, oracles,
+                                                          unwrap(value))
+        records.extend(batch_records)
+        for key in _BATCH_COUNTER_KEYS:
+            batch_totals[key] += counters.get(key, 0)
+    return records, batch_totals

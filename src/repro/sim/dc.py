@@ -87,6 +87,14 @@ class NewtonStats:
     n_rejected_steps: int = 0
     #: Fault-campaign delta solves that fell back to a full solve.
     woodbury_fallbacks: int = 0
+    #: Batched-campaign counters (see :mod:`repro.sim.batch`): stacked /
+    #: multi-RHS linear solves performed, the summed number of
+    #: still-active batch members across those solves (mean occupancy =
+    #: ``batch_occupancy / n_batched_solves``), and members that left
+    #: their batch for the per-defect fallback ladder.
+    n_batched_solves: int = 0
+    batch_occupancy: int = 0
+    batch_fallbacks: int = 0
 
 
 class DcSolution:
@@ -143,7 +151,8 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
                   companions: Optional[Callable[[MnaStamper], None]] = None,
                   stats: Optional[NewtonStats] = None,
                   factor_cache: Optional[FactorCache] = None,
-                  deadline: Optional[float] = None) -> np.ndarray:
+                  deadline: Optional[float] = None,
+                  allow_dense_reuse: bool = False) -> np.ndarray:
     """Run one Newton-Raphson solve; raises ConvergenceError on failure.
 
     The returned vector satisfies the per-unknown tolerance tests of
@@ -169,13 +178,23 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
         # iteration cost: the sparse path.  On small dense systems the
         # extra chord iterations (each a full device re-evaluation) cost
         # more than the O(n^3)-but-tiny factorizations they save, so
-        # "auto" callers fall through to plain Newton there.
+        # "auto" callers fall through to plain Newton there.  The
+        # adaptive transient stepper opts back in (``allow_dense_reuse``)
+        # with a twist: a dense Jacobian carried across an LTE-sized
+        # timestep is stale enough to turn 3-iteration solves into 5, so
+        # each solve refreshes the factorization at its first iteration
+        # and chords only *within* the solve (``refresh_first``) —
+        # without that the cache the stepper allocates is dead weight.
         use_cache = factor_cache is not None and (
-            system.sparse or options.newton_reuse == "always")
+            system.sparse or allow_dense_reuse
+            or options.newton_reuse == "always")
+        refresh_first = (allow_dense_reuse and not system.sparse
+                         and options.newton_reuse != "always")
         try:
             if use_cache:
                 return _modified_newton(system, options, x, n_nets, stats,
-                                        factor_cache, deadline)
+                                        factor_cache, deadline,
+                                        refresh_first=refresh_first)
             for iteration in range(options.max_nr_iterations):
                 _check_deadline(deadline, iteration, "newton solve")
                 x_new, limited = system.iterate(x)
@@ -223,7 +242,8 @@ def _newton_solve(structure: MnaStructure, options: SimOptions,
 def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
                      stats: Optional[NewtonStats],
                      cache: FactorCache,
-                     deadline: Optional[float] = None) -> np.ndarray:
+                     deadline: Optional[float] = None,
+                     refresh_first: bool = False) -> np.ndarray:
     """Newton iteration through a reusable LU factorization.
 
     Each iteration assembles the Jacobian/RHS at the current iterate (the
@@ -233,6 +253,16 @@ def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
     A^{-1} b``); with a stale one it is a chord iteration that converges
     to the same fixed point at a linear rate, trading factorizations for
     cheap back-substitutions.
+
+    ``refresh_first`` refactorizes at the first iteration even when the
+    cache structurally matches: the reuse window is then *within* this
+    solve only — the dense-path policy, where a Jacobian inherited from
+    the previous transient step costs more in extra chord iterations
+    than its reuse saves.  Within-solve staleness is bounded (at most a
+    few iterates old, stall-guarded), so those chord steps accept at
+    the ordinary tolerance instead of ``reuse_accept_factor``; the
+    tighter test exists for factorizations of *unbounded* staleness
+    inherited across solves.
     """
     token = system.factor_token
     prev_rnorm: Optional[float] = None
@@ -243,6 +273,9 @@ def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
         rnorm = float(np.max(np.abs(residual))) if residual.size else 0.0
         fresh = False
         if not cache.matches(token):
+            cache.factorize(matrix, token, system.sparse)
+            fresh = True
+        elif iteration == 0 and refresh_first:
             cache.factorize(matrix, token, system.sparse)
             fresh = True
         elif (prev_rnorm is not None
@@ -265,7 +298,8 @@ def _modified_newton(system, options: SimOptions, x: np.ndarray, n_nets: int,
                 stats.n_factorizations += 1
             else:
                 stats.n_reuses += 1
-        accept = 1.0 if fresh else options.reuse_accept_factor
+        accept = (1.0 if fresh or refresh_first
+                  else options.reuse_accept_factor)
         if not limited and _converged(x, x_new, n_nets, options, accept):
             return x_new
         x = x_new

@@ -452,9 +452,14 @@ def _transient_adaptive(circuit: Circuit, structure: MnaStructure,
         trapezoidal = use_trap and not restart
         geq, ieq = state.prepare(h_step, trapezoidal)
         try:
+            # ``allow_dense_reuse``: unlike the fixed grid (bit-pinned to
+            # the legacy engine), the adaptive path owns its trajectory,
+            # so carrying the LU factorization across accepted steps is
+            # pure savings — dense included.
             x_new = _newton_solve(structure, options, x, t=t + h_step,
                                   companions=state.set, stats=stats,
-                                  factor_cache=cache)
+                                  factor_cache=cache,
+                                  allow_dense_reuse=True)
         except (ConvergenceError, SingularMatrixError):
             stats.n_rejected_steps += 1
             rejections += 1

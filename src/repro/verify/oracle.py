@@ -62,6 +62,7 @@ class EngineConfig:
     #: True → force sparse, False → force dense, None → heuristic.
     sparse: Optional[bool] = False
     delta: bool = False
+    batched: bool = False
     parallel: bool = False
     workers: int = 2
     adaptive: bool = False
@@ -83,6 +84,7 @@ DEFAULT_ENGINES: Tuple[EngineConfig, ...] = (
     EngineConfig("legacy-dense", use_compiled=False),
     EngineConfig("compiled-sparse", sparse=True),
     EngineConfig("compiled-delta", delta=True),
+    EngineConfig("compiled-batched", batched=True),
     EngineConfig("compiled-parallel", parallel=True),
 )
 
@@ -313,6 +315,7 @@ def _campaign_check(scenario: Scenario, engines: Sequence[EngineConfig],
             campaign = run_campaign(
                 built.circuit, built.defects, _fresh_oracles(built),
                 options=options, delta=engine.delta,
+                batched=engine.batched,
                 parallel=engine.parallel, workers=engine.workers)
         except Exception as error:
             result.disagreements.append(Disagreement(
@@ -363,7 +366,7 @@ def _transient_check(scenario: Scenario, engines: Sequence[EngineConfig],
     probes: List[str] = []
     waves: Dict[str, dict] = {}
     fixed = [e for e in engines if not e.adaptive and not e.parallel
-             and not e.delta]
+             and not e.delta and not e.batched]
     adaptive = [e for e in engines if e.adaptive]
     for engine in fixed + adaptive:
         built = build_scenario(scenario, transient_stimulus=True)
