@@ -35,6 +35,13 @@ trajectory to compare against:
   checkpointing; ``<3%`` overhead gate), plus the checkpoint artifact
   (``BENCH_checkpoint.jsonl``) and a proof that resuming from it is
   record-identical to the uninterrupted run.
+* **campaign_service** — the full 145-defect catalog (monitor sites
+  included) through the asyncio campaign service: a cold sharded run
+  populating the content-addressed result store (gated on parallel
+  efficiency vs the serial solve), a warm re-submission served from
+  cache (gated ≥10x over cold with ≥95% hit-rate and field-identical
+  records), and a concurrent-client load test over the JSON-lines TCP
+  front end.
 
 Both baseline and optimized run in this same process (same BLAS, same
 interpreter), so the reported speedups are apples-to-apples.  Run with::
@@ -85,6 +92,13 @@ TELEMETRY_MAX_OVERHEAD_PCT = 3.0
 #: The fault-tolerance machinery (per-defect solver deadline + JSONL
 #: checkpointing) must stay near-free on an unperturbed campaign.
 ROBUSTNESS_MAX_OVERHEAD_PCT = 3.0
+#: Warm (fully cached) service re-run vs the cold run that filled the
+#: store, and the floor on how much of it must come from cache.
+CAMPAIGN_SERVICE_TARGET = 10.0
+SERVICE_MIN_HIT_RATE = 0.95
+#: Cold sharded run must stay close to ideal scaling:
+#: serial_time / (workers x cold_wall).
+SERVICE_MIN_EFFICIENCY = 0.7
 
 
 def _best_of(func, repeats: int = 3) -> float:
@@ -461,6 +475,110 @@ def bench_robustness() -> dict:
     }
 
 
+def bench_campaign_service() -> dict:
+    """Cold sharded service run vs warm (fully cached) re-submission.
+
+    The workload is the paper's full section-3 catalog with the
+    monitor's own devices included (145 defects on the 3-stage chain):
+    the DFT-flow shape where every defect is swept repeatedly across
+    CLI runs, verify sweeps, and nightly fuzz — exactly what the
+    content-addressed store exists to deduplicate.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.parallel import default_workers
+    from repro.service import CampaignService, JobSpec, run_load_test
+
+    workers = default_workers()
+    spec = JobSpec(stages=3,
+                   kinds=("pipe", "terminal-short", "resistor-short",
+                          "resistor-open"),
+                   pipe_resistances=(2e3, 4e3),
+                   include_monitor_sites=True,
+                   parallel=True, workers=workers)
+
+    # Serial reference: the same workload solved inline, no service, no
+    # store — both the efficiency baseline and the record-identity
+    # ground truth for cache-served results.
+    chain = buffer_chain(NOMINAL, n_stages=3, frequency=100e6)
+    monitor = build_shared_monitor(chain.circuit, chain.output_nets,
+                                   tech=NOMINAL)
+    oracles = [LogicOracle(chain.output_nets),
+               FlagOracle(monitor.nets.flag, monitor.nets.flagb),
+               IddqOracle()]
+    defects = list(enumerate_defects(
+        chain.circuit, kinds=tuple(spec.kinds),
+        pipe_resistances=tuple(spec.pipe_resistances)))
+    serial_result = run_campaign(chain.circuit, defects, oracles)
+    serial_s = _best_of(lambda: run_campaign(chain.circuit, defects,
+                                             oracles))
+
+    async def run_service(tmpdir: str) -> dict:
+        service = CampaignService(store=tmpdir, workers=workers)
+        # Cold: timed once — it is the run that populates the store.
+        start = time.perf_counter()
+        cold = await service.run(spec)
+        cold_s = time.perf_counter() - start
+        # Warm: every record served from cache.  Best-of like the other
+        # sections; re-runs only get *more* cached, never less.
+        warm = None
+        warm_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = await service.run(spec)
+            warm_s = min(warm_s, time.perf_counter() - start)
+        # Load test: concurrent TCP clients re-submitting the (now
+        # cached) job against the live service.
+        server = await service.serve(port=0)
+        host, port = server.sockets[0].getsockname()[:2]
+        load = await run_load_test(host, port, [spec.to_dict()] * 4)
+        server.close()
+        await server.wait_closed()
+        lookups = warm.n_store_hits + warm.n_store_misses
+        return {
+            "cold_s": cold_s, "warm_s": warm_s,
+            "cold": cold, "warm": warm,
+            "hit_rate": warm.n_store_hits / lookups if lookups else 0.0,
+            "load": load,
+            "max_queue_depth": service.max_queue_depth,
+        }
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        outcome = asyncio.run(run_service(tmpdir))
+
+    cold, warm = outcome["cold"], outcome["warm"]
+    efficiency = serial_s / (workers * outcome["cold_s"])
+    load = outcome["load"]
+    return {
+        "defects": len(warm.records),
+        "workers": workers,
+        "serial_s": round(serial_s, 4),
+        "cold_s": round(outcome["cold_s"], 4),
+        "warm_s": round(outcome["warm_s"], 4),
+        "speedup": round(outcome["cold_s"] / outcome["warm_s"], 2),
+        "target_speedup": CAMPAIGN_SERVICE_TARGET,
+        "cache_hit_rate": round(outcome["hit_rate"], 4),
+        "min_cache_hit_rate": SERVICE_MIN_HIT_RATE,
+        "cache_hit_ok": outcome["hit_rate"] >= SERVICE_MIN_HIT_RATE,
+        "parallel_efficiency": round(efficiency, 3),
+        "min_parallel_efficiency": SERVICE_MIN_EFFICIENCY,
+        "efficiency_ok": efficiency >= SERVICE_MIN_EFFICIENCY,
+        # Cache-served records must be field-identical to freshly solved
+        # ones — against both the cold service run and the plain serial
+        # campaign (dataclass equality covers every record field).
+        "records_identical_ok": (warm.records == cold.records
+                                 and warm.records == serial_result.records),
+        "load_clients": load["clients"],
+        "load_completed": load["completed"],
+        "load_wall_s": load["wall_s"],
+        "load_store_hits": load["total_store_hits"],
+        "load_test_ok": (load["completed"] == load["clients"]
+                         and load["failed"] == 0),
+        "max_queue_depth": outcome["max_queue_depth"],
+    }
+
+
 def main() -> int:
     results = {
         "description": (
@@ -476,6 +594,7 @@ def main() -> int:
         "transient_adaptive": bench_transient_adaptive(),
         "telemetry": bench_telemetry(),
         "robustness": bench_robustness(),
+        "campaign_service": bench_campaign_service(),
     }
     ok = True
     for name, section in results.items():
@@ -484,13 +603,13 @@ def main() -> int:
         if ("speedup" in section
                 and section["speedup"] < section["target_speedup"]):
             ok = False
-        if section.get("accuracy_ok") is False:
-            ok = False
-        if section.get("factor_cache_ok") is False:
-            ok = False
+        # Every boolean "*_ok" flag a section reports is a gate
+        # (accuracy_ok, factor_cache_ok, overhead_ok, cache_hit_ok,
+        # efficiency_ok, records_identical_ok, load_test_ok, ...).
+        for key, value in section.items():
+            if key.endswith("_ok") and value is False:
+                ok = False
         if section.get("verdicts_identical") is False:
-            ok = False
-        if section.get("overhead_ok") is False:
             ok = False
         if section.get("records_identical_after_resume") is False:
             ok = False

@@ -8,8 +8,10 @@ Usage::
     python -m repro export-spice --stages 8 --pipe 4e3 chain.cir
     python -m repro campaign --stages 4 --parallel --checkpoint run.jsonl
     python -m repro campaign --checkpoint run.jsonl --resume
+    python -m repro campaign --store results/ --parallel
     python -m repro verify --seed 0 --budget 60s
     python -m repro verify --replay tests/corpus/shared_monitor_pipe.json
+    python -m repro serve --port 8765 --store results/
 """
 
 from __future__ import annotations
@@ -112,7 +114,8 @@ def _cmd_campaign(args) -> int:
                           options=options, delta=args.delta,
                           parallel=args.parallel, workers=args.workers,
                           chunk_size=args.chunk_size,
-                          checkpoint=args.checkpoint, resume=args.resume)
+                          checkpoint=args.checkpoint, resume=args.resume,
+                          store=args.store)
     elapsed = time.time() - started
 
     print(result.format())
@@ -120,6 +123,9 @@ def _cmd_campaign(args) -> int:
             f" ({args.stages}-stage chain)")
     if result.n_resumed:
         line += f", {result.n_resumed} resumed from checkpoint"
+    if args.store is not None:
+        line += (f", store: {result.n_store_hits} hit(s) /"
+                 f" {result.n_store_misses} miss(es)")
     quarantined = result.quarantined()
     if quarantined:
         line += f", {len(quarantined)} quarantined"
@@ -128,6 +134,30 @@ def _cmd_campaign(args) -> int:
         print(f"  quarantined {record.defect.kind} "
               f"{record.defect.describe()}: {record.quarantine_reason}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import CampaignService
+
+    async def main() -> int:
+        service = CampaignService(store=args.store, workers=args.workers,
+                                  max_concurrent_jobs=args.max_jobs)
+        server = await service.serve(host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        store_note = f", store={args.store}" if args.store else ""
+        print(f"campaign service listening on {host}:{port} "
+              f"({service.workers} worker(s){store_note})", flush=True)
+        async with server:
+            await server.serve_forever()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("service stopped")
+        return 0
 
 
 def _cmd_verify(args) -> int:
@@ -224,6 +254,25 @@ def main(argv=None) -> int:
                           help="parallel liveness timeout: quarantine "
                                "defects whose worker hangs this long "
                                "(0 = wait forever)")
+    campaign.add_argument("--store", default=None, metavar="DIR",
+                          help="content-addressed result store: serve "
+                               "already-solved defects from cache and "
+                               "write fresh ones back")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived campaign service (JSON-lines TCP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="shared content-addressed result store")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="process-pool width for sharded jobs "
+                            "(default: all cores)")
+    serve.add_argument("--max-jobs", type=int, default=1,
+                       help="jobs solving concurrently (default 1: one "
+                            "job already saturates the cores)")
 
     verify = sub.add_parser(
         "verify",
@@ -257,6 +306,8 @@ def main(argv=None) -> int:
         return _cmd_export_spice(args.path, args.stages, args.pipe)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "verify":
         return _cmd_verify(args)
     return 2  # pragma: no cover

@@ -31,6 +31,7 @@ from ..sim.dc import (ConvergenceError, DcSolution, DeltaContext, NewtonStats,
                       _newton_span, delta_solve, operating_point)
 from ..sim.mna import CACHE_STATS, SingularMatrixError, structure_for
 from ..sim.options import DEFAULT_OPTIONS, SimOptions
+from ..store import ResultStore, campaign_fingerprint, result_key
 from ..telemetry import Telemetry, record_newton_stats, telemetry_for
 from .defects import Defect
 from .injector import inject
@@ -195,6 +196,20 @@ class CampaignResult:
     n_batched_solves: int = field(default=0, compare=False)
     batch_occupancy: int = field(default=0, compare=False)
     batch_fallbacks: int = field(default=0, compare=False)
+    #: Result-store activity for this campaign (``store=`` runs only;
+    #: excluded from equality — a cache-served record *is* the record).
+    #: ``n_store_hits`` were served from the content-addressed store
+    #: without solving, ``n_store_misses`` were looked up and solved,
+    #: ``n_store_puts`` newly written back.
+    n_store_hits: int = field(default=0, compare=False)
+    n_store_misses: int = field(default=0, compare=False)
+    n_store_puts: int = field(default=0, compare=False)
+    #: Campaign-wide MNA structure-cache activity — the parent process's
+    #: :data:`~repro.sim.mna.CACHE_STATS` delta plus every worker
+    #: process's shipped delta, so parallel campaigns account compiled
+    #: structure reuse across the whole pool, not just the parent.
+    mna_cache_stats: Dict[str, int] = field(default_factory=dict,
+                                            compare=False)
 
     def coverage_matrix(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
         """kind -> oracle -> (caught, total); non-converged defects
@@ -521,23 +536,55 @@ def _solve_defect_delta_impl(defect: Defect, circuit: Circuit,
     return record
 
 
-def _solve_defect_captured(defect: Defect, *, solver, kwargs: Dict
-                           ) -> Tuple[FaultRecord, List[Dict], Dict]:
-    """Worker-process wrapper: solve one defect under capturing telemetry.
+@dataclass
+class _WorkerResult:
+    """One parallel work unit's payload, shipped back to the parent.
 
-    Used by the parallel campaign when tracing is on: the parent cannot
-    ship its tracer (open file handles) across the process boundary, so
-    each worker records into a fresh in-memory Telemetry and returns
-    ``(record, span events, metrics snapshot)`` for the parent to merge
-    — re-parenting the spans under the campaign span and folding the
-    counters into the parent registry, which keeps parallel campaign
-    telemetry identical to a serial run's.
+    ``value`` is the unit's own result (a :class:`FaultRecord`, or the
+    batched path's ``(records, counters)`` pair).  ``pid`` lets the
+    parent tell a genuine worker process from an in-process degraded
+    run — when ``parallel_map`` falls back to serial execution the
+    wrapper runs in the parent, whose process-global
+    :data:`~repro.sim.mna.CACHE_STATS` delta already includes this
+    unit's activity, so the parent must not add ``cache_delta`` again.
+    ``events``/``metrics`` carry captured telemetry when tracing is on
+    (see the capture/merge contract on :func:`_solve_defect_shipped`).
     """
-    telemetry = Telemetry.capturing()
-    kwargs = dict(kwargs,
-                  options=replace(kwargs["options"], telemetry=telemetry))
+
+    value: Any
+    pid: int
+    cache_delta: Dict[str, int]
+    events: Optional[List[Dict]] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def _solve_defect_shipped(defect: Defect, *, solver, kwargs: Dict,
+                          capture: bool) -> _WorkerResult:
+    """Worker-process wrapper: solve one defect, ship stats (+telemetry).
+
+    Used by every parallel campaign.  The worker's MNA structure-cache
+    delta for this unit rides back with the record so the parent can
+    aggregate campaign-wide cache activity across processes.  With
+    ``capture`` (tracing on) the worker additionally records into a
+    fresh in-memory Telemetry — the parent cannot ship its tracer (open
+    file handles) across the process boundary — and returns the span
+    events and metrics snapshot for the parent to merge, re-parenting
+    the spans under the campaign span and folding the counters into the
+    parent registry, which keeps parallel campaign telemetry identical
+    to a serial run's.
+    """
+    telemetry = Telemetry.capturing() if capture else None
+    if capture:
+        kwargs = dict(kwargs,
+                      options=replace(kwargs["options"], telemetry=telemetry))
+    cache_before = dict(CACHE_STATS)
     record = solver(defect, **kwargs)
-    return record, telemetry.events(), telemetry.metrics.snapshot()
+    delta = {key: CACHE_STATS[key] - cache_before[key]
+             for key in cache_before}
+    return _WorkerResult(
+        record, os.getpid(), delta,
+        telemetry.events() if capture else None,
+        telemetry.metrics.snapshot() if capture else None)
 
 
 #: Default number of defects per stacked solve.  Large enough that the
@@ -652,17 +699,22 @@ def _solve_defect_batch(batch: Sequence[Defect], *, circuit: Circuit,
     return result, counters
 
 
-def _solve_batch_captured(batch: Sequence[Defect], *, kwargs: Dict
-                          ) -> Tuple[Tuple[List[FaultRecord],
-                                           Dict[str, int]],
-                                     List[Dict], Dict]:
-    """Worker-process wrapper for one traced batch (see
-    :func:`_solve_defect_captured` for the capture/merge contract)."""
-    telemetry = Telemetry.capturing()
-    kwargs = dict(kwargs,
-                  options=replace(kwargs["options"], telemetry=telemetry))
+def _solve_batch_shipped(batch: Sequence[Defect], *, kwargs: Dict,
+                         capture: bool) -> _WorkerResult:
+    """Worker-process wrapper for one batch (see
+    :func:`_solve_defect_shipped` for the shipping/merge contract)."""
+    telemetry = Telemetry.capturing() if capture else None
+    if capture:
+        kwargs = dict(kwargs,
+                      options=replace(kwargs["options"], telemetry=telemetry))
+    cache_before = dict(CACHE_STATS)
     value = _solve_defect_batch(batch, **kwargs)
-    return value, telemetry.events(), telemetry.metrics.snapshot()
+    delta = {key: CACHE_STATS[key] - cache_before[key]
+             for key in cache_before}
+    return _WorkerResult(
+        value, os.getpid(), delta,
+        telemetry.events() if capture else None,
+        telemetry.metrics.snapshot() if capture else None)
 
 
 def _batch_value_to_records(batch: Sequence[Defect],
@@ -727,6 +779,60 @@ def _record_from_entry(entry: Dict[str, Any], defect: Defect) -> FaultRecord:
                        **{name: entry[name] for name in _RECORD_FIELDS})
 
 
+class CheckpointMismatch(ValueError):
+    """A checkpoint belongs to a different campaign.
+
+    Raised when a resume (or an append) targets a checkpoint whose
+    header fingerprint — the content hash of (netlist, solver options,
+    oracles, namespace) recorded when the file was created — does not
+    match the running campaign.  Without this check two campaigns whose
+    defect catalogs overlap in :func:`defect_key` space (the same pipe
+    site exists in every variant of a netlist) would silently exchange
+    records.  Headers without a fingerprint (pre-store checkpoints)
+    are accepted for backward compatibility.
+    """
+
+
+def checkpoint_header(path: Union[str, os.PathLike]
+                      ) -> Optional[Dict[str, Any]]:
+    """The header entry of a checkpoint file, or ``None``.
+
+    Tolerant like :func:`load_checkpoint`: a missing file, torn lines,
+    or a headerless legacy checkpoint all return ``None`` rather than
+    raising.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and entry.get("type") == "header":
+                    return entry
+    except OSError:
+        return None
+    return None
+
+
+def _check_checkpoint_fingerprint(path: Union[str, os.PathLike],
+                                  fingerprint: Optional[str]) -> None:
+    """Refuse to mix records across campaigns (see CheckpointMismatch)."""
+    if fingerprint is None:
+        return
+    header = checkpoint_header(path)
+    recorded = header.get("fingerprint") if header else None
+    if recorded is not None and recorded != fingerprint:
+        raise CheckpointMismatch(
+            f"checkpoint {path} was written by a different campaign "
+            f"(fingerprint {recorded[:12]}.. != {fingerprint[:12]}..): "
+            "same defect keys would alias across netlists/options; use a "
+            "fresh checkpoint path or the original circuit and options")
+
+
 def load_checkpoint(path: Union[str, os.PathLike]) -> Dict[str, Dict[str, Any]]:
     """Completed-record entries of a campaign checkpoint, keyed by defect.
 
@@ -767,8 +873,11 @@ class _CheckpointWriter:
     """
 
     def __init__(self, path: Union[str, os.PathLike],
-                 n_defects: int, oracle_names: Sequence[str]):
+                 n_defects: int, oracle_names: Sequence[str],
+                 fingerprint: Optional[str] = None):
         self.path = path
+        if os.path.exists(path):
+            _check_checkpoint_fingerprint(path, fingerprint)
         self._written = set(load_checkpoint(path))
         new_file = not self._written and not os.path.exists(path)
         self._handle = open(path, "a", encoding="utf-8")
@@ -780,9 +889,12 @@ class _CheckpointWriter:
                 if check.read(1) != b"\n":
                     self._handle.write("\n")
         if new_file:
-            self._emit({"type": "header", "schema": CHECKPOINT_SCHEMA,
-                        "n_defects": n_defects,
-                        "oracles": list(oracle_names)})
+            header = {"type": "header", "schema": CHECKPOINT_SCHEMA,
+                      "n_defects": n_defects,
+                      "oracles": list(oracle_names)}
+            if fingerprint is not None:
+                header["fingerprint"] = fingerprint
+            self._emit(header)
 
     def _emit(self, entry: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -803,19 +915,19 @@ def _value_to_record(defect: Defect, oracles: Sequence[Oracle],
                      value: Any) -> FaultRecord:
     """Normalize one ``parallel_map`` result slot into a FaultRecord.
 
-    ``value`` is a plain record (serial / untraced parallel), a
-    ``(record, events, snapshot)`` capture tuple (traced parallel — the
-    telemetry parts are merged separately by the caller), or a
+    ``value`` is a plain record (serial path), a :class:`_WorkerResult`
+    envelope (parallel — the cache/telemetry payloads are merged
+    separately by the caller), or a
     :class:`~repro.parallel.MapFailure` when the worker executing the
     defect crashed or hung, which quarantines the defect.
     """
+    if isinstance(value, _WorkerResult):
+        value = value.value
     if isinstance(value, MapFailure):
         return _quarantine_record(
             defect, oracles,
             f"worker {value.stage} failure after {value.attempts} "
             f"attempt(s): {value.error_type}: {value.error}")
-    if isinstance(value, tuple):
-        return value[0]
     return value
 
 
@@ -831,7 +943,9 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                  chunk_size: Optional[int] = None,
                  progress: Optional[Callable[[int, int, float], None]] = None,
                  checkpoint: Optional[Union[str, os.PathLike]] = None,
-                 resume: Union[bool, str, os.PathLike] = False
+                 resume: Union[bool, str, os.PathLike] = False,
+                 store: Optional[Union[ResultStore, str, os.PathLike]] = None,
+                 store_namespace: str = ""
                  ) -> CampaignResult:
     """Inject each defect, solve DC, collect every oracle's verdict.
 
@@ -854,7 +968,25 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
     ``resume=True`` reads the ``checkpoint`` file itself, or pass an
     explicit path.  A resumed campaign returns records identical to an
     uninterrupted run's, in the original defect order, and keeps
-    appending the newly solved defects to ``checkpoint``.
+    appending the newly solved defects to ``checkpoint``.  Checkpoint
+    headers record the campaign's content fingerprint; resuming (or
+    appending to) a checkpoint written by a different campaign —
+    different netlist, solver options, or oracle configuration — raises
+    :class:`CheckpointMismatch` instead of silently aliasing records by
+    defect key.
+
+    ``store`` (a :class:`repro.store.ResultStore` or a directory path)
+    memoizes solves *across* campaigns: every record is addressed by a
+    content hash of (netlist, solver-relevant options, oracles,
+    ``store_namespace``, defect), looked up before solving and written
+    back after — so re-running an identical campaign (another CLI
+    invocation, a verify sweep, a service job) is served from cache,
+    field-identical to a fresh solve, and never recomputed.
+    Quarantined records are *not* cached: a transient worker crash must
+    not poison future runs.  Store traffic is reported on
+    :attr:`CampaignResult.n_store_hits` / ``n_store_misses`` /
+    ``n_store_puts``; ``store_namespace`` partitions otherwise-identical
+    campaigns (the verify matrix passes the engine name).
 
     ``warm_start`` seeds every faulty solve from the fault-free
     operating point (mapped by net name, see :func:`_warm_start_vector`),
@@ -906,8 +1038,7 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                                   warm_start, delta, batched, batch_size,
                                   parallel, workers,
                                   chunk_size, progress, checkpoint, resume,
-                                  None, None)
-    cache_before = dict(CACHE_STATS)
+                                  store, store_namespace, None, None)
     with tel.span("campaign", n_defects=len(defects),
                   oracles=[oracle.name for oracle in oracles],
                   warm_start=warm_start, delta=delta, batched=batched,
@@ -916,7 +1047,7 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                                     warm_start, delta, batched, batch_size,
                                     parallel, workers,
                                     chunk_size, progress, checkpoint, resume,
-                                    tel, span)
+                                    store, store_namespace, tel, span)
         aggregate = result.aggregate_stats()
         if batched:
             span.set(n_batched_solves=result.n_batched_solves,
@@ -929,11 +1060,21 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                  n_solver_failed=len(result.solver_failed()),
                  n_quarantined=len(result.quarantined()),
                  n_resumed=result.n_resumed,
-                 # Parent-process cache activity only: worker processes
-                 # build their own structures, which this delta cannot
-                 # see (and which differ run to run with chunking).
-                 mna_cache_delta={key: CACHE_STATS[key] - cache_before[key]
-                                  for key in CACHE_STATS})
+                 # Campaign-wide cache activity: parent-process delta
+                 # plus every worker process's shipped delta (chunk
+                 # boundaries make the split vary run to run; the sum
+                 # is what reuse actually bought the campaign).
+                 mna_cache_delta=dict(result.mna_cache_stats))
+        if store is not None:
+            span.set(n_store_hits=result.n_store_hits,
+                     n_store_misses=result.n_store_misses,
+                     n_store_puts=result.n_store_puts)
+            tel.metrics.counter("campaign.store_hits").add(
+                result.n_store_hits)
+            tel.metrics.counter("campaign.store_misses").add(
+                result.n_store_misses)
+            tel.metrics.counter("campaign.store_puts").add(
+                result.n_store_puts)
         tel.metrics.counter("campaign.defects").add(len(result.records))
         for solver_kind, count in result.solver_counts().items():
             tel.metrics.counter(f"campaign.solves.{solver_kind}").add(count)
@@ -952,14 +1093,36 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
         return result
 
 
+def _valid_record_entry(entry: Any) -> bool:
+    """Schema check for an entry about to round-trip into a record."""
+    return (isinstance(entry, dict)
+            and entry.get("schema") == CHECKPOINT_SCHEMA
+            and "verdicts" in entry
+            and all(name in entry for name in _RECORD_FIELDS))
+
+
 def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
                        oracles: Sequence[Oracle], options: SimOptions,
                        warm_start: bool, delta: bool, batched: bool,
                        batch_size: Optional[int], parallel: bool,
                        workers: Optional[int], chunk_size: Optional[int],
                        progress: Optional[Callable[[int, int, float], None]],
-                       checkpoint, resume, tel, span) -> CampaignResult:
+                       checkpoint, resume, store, store_namespace,
+                       tel, span) -> CampaignResult:
     oracle_names = [oracle.name for oracle in oracles]
+    cache_before = dict(CACHE_STATS)
+
+    store_obj: Optional[ResultStore] = None
+    if store is not None:
+        store_obj = (store if isinstance(store, ResultStore)
+                     else ResultStore(store))
+    # The fingerprint scopes both the store's content addresses and the
+    # checkpoint header; skip the (cheap but nonzero) canonicalization
+    # when nothing durable is in play.
+    fingerprint = None
+    if store_obj is not None or checkpoint is not None or resume:
+        fingerprint = campaign_fingerprint(circuit, options, oracles,
+                                           store_namespace)
 
     # Resume: reuse checkpointed records; only the remainder is solved.
     resumed: Dict[str, FaultRecord] = {}
@@ -967,26 +1130,45 @@ def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
         resume_path = checkpoint if resume is True else resume
         if resume_path is None:
             raise ValueError("resume=True requires a checkpoint path")
+        _check_checkpoint_fingerprint(resume_path, fingerprint)
         entries = load_checkpoint(resume_path)
         for defect in defects:
             entry = entries.get(defect_key(defect))
             if entry is not None:
                 resumed[defect_key(defect)] = _record_from_entry(entry,
                                                                  defect)
-    todo = [d for d in defects if defect_key(d) not in resumed]
+
+    # Store: serve whatever an earlier campaign already solved.
+    cached: Dict[str, FaultRecord] = {}
+    n_store_misses = 0
+    if store_obj is not None:
+        for defect in defects:
+            key = defect_key(defect)
+            if key in resumed:
+                continue
+            entry = store_obj.get(result_key(fingerprint, key))
+            if entry is not None and _valid_record_entry(entry):
+                cached[key] = _record_from_entry(entry, defect)
+            else:
+                n_store_misses += 1
+
+    todo = [d for d in defects
+            if defect_key(d) not in resumed and defect_key(d) not in cached]
     if span is not None:
         span.set(n_todo=len(todo))
 
     writer = None
     if checkpoint is not None:
         writer = _CheckpointWriter(checkpoint, n_defects=len(defects),
-                                   oracle_names=oracle_names)
-        for record in resumed.values():
+                                   oracle_names=oracle_names,
+                                   fingerprint=fingerprint)
+        for record in list(resumed.values()) + list(cached.values()):
             # No-op when resuming from this same file; carries records
-            # forward when resuming from a different one.
+            # forward when resuming from a different one or when the
+            # store served them.
             writer.write(record)
     try:
-        records_todo, batch_totals = _solve_todo(
+        records_todo, batch_totals, worker_cache = _solve_todo(
             circuit, todo, oracles, options, warm_start, delta, batched,
             batch_size, parallel, workers, chunk_size, progress, writer,
             tel, span)
@@ -995,13 +1177,30 @@ def _run_campaign_impl(circuit: Circuit, defects: List[Defect],
             writer.close()
 
     fresh = {defect_key(d): r for d, r in zip(todo, records_todo)}
-    records = [resumed.get(defect_key(d)) or fresh[defect_key(d)]
-               for d in defects]
+    records = [resumed.get(defect_key(d)) or cached.get(defect_key(d))
+               or fresh[defect_key(d)] for d in defects]
+
+    n_store_puts = 0
+    if store_obj is not None:
+        for record in records:
+            if record.quarantined:
+                continue  # a transient crash must not poison the cache
+            if store_obj.put(result_key(fingerprint,
+                                        defect_key(record.defect)),
+                             _record_to_entry(record)):
+                n_store_puts += 1
+
+    mna_cache_stats = {key: CACHE_STATS[key] - cache_before[key]
+                       + worker_cache.get(key, 0) for key in CACHE_STATS}
     return CampaignResult(records=records, oracle_names=oracle_names,
                           n_resumed=len(resumed),
                           n_batched_solves=batch_totals["n_batched_solves"],
                           batch_occupancy=batch_totals["batch_occupancy"],
-                          batch_fallbacks=batch_totals["batch_fallbacks"])
+                          batch_fallbacks=batch_totals["batch_fallbacks"],
+                          n_store_hits=len(cached),
+                          n_store_misses=n_store_misses,
+                          n_store_puts=n_store_puts,
+                          mna_cache_stats=mna_cache_stats)
 
 
 def _solve_todo(circuit: Circuit, todo: List[Defect],
@@ -1011,14 +1210,17 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
                 workers: Optional[int], chunk_size: Optional[int],
                 progress: Optional[Callable[[int, int, float], None]],
                 writer, tel, span
-                ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+                ) -> Tuple[List[FaultRecord], Dict[str, int], Dict[str, int]]:
     """Solve the not-yet-checkpointed defects.
 
-    Returns the fresh records in ``todo`` order plus the accumulated
-    batch counters (zeros for the per-defect engines)."""
+    Returns the fresh records in ``todo`` order, the accumulated batch
+    counters (zeros for the per-defect engines), and the summed
+    MNA-cache deltas shipped back from genuine worker processes (the
+    parent's own delta is accounted by the caller)."""
     batch_totals = dict.fromkeys(_BATCH_COUNTER_KEYS, 0)
+    worker_cache = dict.fromkeys(CACHE_STATS, 0)
     if not todo:
-        return [], batch_totals
+        return [], batch_totals, worker_cache
     # The solve deadline is a *per-defect* budget: the fault-free
     # reference is the baseline every oracle and warm start needs, so it
     # solves unbudgeted (a failure here is a hard error, not a
@@ -1045,7 +1247,7 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
                                    solve_options, warm, reference,
                                    batch_size, parallel, workers,
                                    chunk_size, progress, writer, tel, span,
-                                   batch_totals)
+                                   batch_totals, worker_cache)
     kwargs: Dict = dict(circuit=circuit, oracles=tuple(oracles),
                         options=solve_options, warm=warm)
     solver = _solve_defect
@@ -1053,9 +1255,9 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
         solver = _solve_defect_delta
         kwargs["x_ref"] = reference.x.copy()
     capture = parallel and tel is not None
-    if capture:
-        solve = functools.partial(_solve_defect_captured, solver=solver,
-                                  kwargs=kwargs)
+    if parallel:
+        solve = functools.partial(_solve_defect_shipped, solver=solver,
+                                  kwargs=kwargs, capture=capture)
     else:
         solve = functools.partial(solver, **kwargs)
 
@@ -1085,13 +1287,17 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
                        on_error="return")
     records: List[FaultRecord] = []
     parent_id = span.span_id if span is not None else None
+    parent_pid = os.getpid()
     for defect, value in zip(todo, raw):
         records.append(_value_to_record(defect, oracles, value))
-        if capture and isinstance(value, tuple):
-            _record, events, snapshot = value
-            tel.tracer.ingest(events, parent_id=parent_id)
-            tel.metrics.merge(snapshot)
-    return records, batch_totals
+        if isinstance(value, _WorkerResult):
+            if value.pid != parent_pid:
+                for key, amount in value.cache_delta.items():
+                    worker_cache[key] = worker_cache.get(key, 0) + amount
+            if capture and value.events is not None:
+                tel.tracer.ingest(value.events, parent_id=parent_id)
+                tel.metrics.merge(value.metrics)
+    return records, batch_totals, worker_cache
 
 
 def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
@@ -1102,8 +1308,10 @@ def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
                         chunk_size: Optional[int],
                         progress: Optional[Callable[[int, int, float],
                                                     None]],
-                        writer, tel, span, batch_totals: Dict[str, int]
-                        ) -> Tuple[List[FaultRecord], Dict[str, int]]:
+                        writer, tel, span, batch_totals: Dict[str, int],
+                        worker_cache: Dict[str, int]
+                        ) -> Tuple[List[FaultRecord], Dict[str, int],
+                                   Dict[str, int]]:
     """Batched counterpart of the per-defect solve loop.
 
     The unit of work handed to :func:`repro.parallel.parallel_map` is a
@@ -1118,13 +1326,14 @@ def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
                         options=solve_options, warm=warm,
                         x_ref=reference.x.copy())
     capture = parallel and tel is not None
-    if capture:
-        solve = functools.partial(_solve_batch_captured, kwargs=kwargs)
+    if parallel:
+        solve = functools.partial(_solve_batch_shipped, kwargs=kwargs,
+                                  capture=capture)
     else:
         solve = functools.partial(_solve_defect_batch, **kwargs)
 
     def unwrap(value):
-        return value[0] if capture and isinstance(value, tuple) else value
+        return value.value if isinstance(value, _WorkerResult) else value
 
     start = time.perf_counter()
     defects_done = [0]
@@ -1153,14 +1362,18 @@ def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
                        on_error="return")
     records: List[FaultRecord] = []
     parent_id = span.span_id if span is not None else None
+    parent_pid = os.getpid()
     for batch, value in zip(batches, raw):
-        if capture and isinstance(value, tuple):
-            _value, events, snapshot = value
-            tel.tracer.ingest(events, parent_id=parent_id)
-            tel.metrics.merge(snapshot)
+        if isinstance(value, _WorkerResult):
+            if value.pid != parent_pid:
+                for key, amount in value.cache_delta.items():
+                    worker_cache[key] = worker_cache.get(key, 0) + amount
+            if capture and value.events is not None:
+                tel.tracer.ingest(value.events, parent_id=parent_id)
+                tel.metrics.merge(value.metrics)
         batch_records, counters = _batch_value_to_records(batch, oracles,
                                                           unwrap(value))
         records.extend(batch_records)
         for key in _BATCH_COUNTER_KEYS:
             batch_totals[key] += counters.get(key, 0)
-    return records, batch_totals
+    return records, batch_totals, worker_cache

@@ -176,6 +176,51 @@ class RunReport:
             "shrinks": len(self.named("verify.shrink")),
         }
 
+    def service_summary(self) -> Optional[Dict[str, Any]]:
+        """Campaign-service activity in the trace (``service.job`` spans
+        plus the ``service.*`` counters/gauges), or ``None`` when the
+        trace holds no service jobs."""
+        jobs = self.named("service.job")
+        submitted = self.metrics.counter_value("service.jobs_submitted")
+        if not jobs and not submitted:
+            return None
+        gauges = self.metrics.snapshot().get("gauges", {})
+        return {
+            "jobs": len(jobs) or submitted,
+            "completed": self.metrics.counter_value(
+                "service.jobs_completed"),
+            "failed": self.metrics.counter_value("service.jobs_failed"),
+            "wall_s": sum(s.get("duration_s") or 0.0 for s in jobs),
+            "queue_depth": gauges.get("service.queue_depth", 0),
+        }
+
+    def store_summary(self) -> Optional[Dict[str, Any]]:
+        """Result-store traffic (``campaign.store_*`` counters), or
+        ``None`` when no store-backed campaign appears in the trace."""
+        hits = self.metrics.counter_value("campaign.store_hits")
+        misses = self.metrics.counter_value("campaign.store_misses")
+        puts = self.metrics.counter_value("campaign.store_puts")
+        if not (hits or misses or puts):
+            return None
+        lookups = hits + misses
+        return {"hits": hits, "misses": misses, "puts": puts,
+                "hit_rate": hits / lookups if lookups else 0.0}
+
+    def mna_cache_summary(self) -> Optional[Dict[str, Any]]:
+        """Campaign-wide MNA structure-cache activity, summed over every
+        campaign span's ``mna_cache_delta`` (parent and worker processes
+        both included since the deltas are merged at record time)."""
+        totals: Dict[str, int] = {}
+        seen = False
+        for span in self.named("campaign"):
+            delta = span["attrs"].get("mna_cache_delta")
+            if not delta:
+                continue
+            seen = True
+            for key, value in delta.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals if seen else None
+
     def convergence_outliers(self, limit: int = TOP_N
                              ) -> List[Dict[str, Any]]:
         """Non-converged defects first, then the highest-iteration ones."""
@@ -256,6 +301,31 @@ class RunReport:
                   verification["disagreements"],
                   verification["shrinks"]]],
                 "Differential verification", markdown))
+
+        service = self.service_summary()
+        if service:
+            sections.append(_table(
+                ["jobs", "completed", "failed", "wall (s)", "queue depth"],
+                [[service["jobs"], service["completed"], service["failed"],
+                  service["wall_s"], service["queue_depth"]]],
+                "Campaign service", markdown))
+
+        store = self.store_summary()
+        if store:
+            sections.append(_table(
+                ["hits", "misses", "puts", "hit rate"],
+                [[store["hits"], store["misses"], store["puts"],
+                  f"{store['hit_rate']:.1%}"]],
+                "Result store", markdown))
+
+        mna_cache = self.mna_cache_summary()
+        if mna_cache:
+            sections.append(_table(
+                ["structure hits", "structure misses", "compiled builds"],
+                [[mna_cache.get("structure_hits", 0),
+                  mna_cache.get("structure_misses", 0),
+                  mna_cache.get("compiled_builds", 0)]],
+                "MNA structure cache (all processes)", markdown))
 
         verdicts = self.verdict_counts()
         if verdicts:

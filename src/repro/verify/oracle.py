@@ -305,8 +305,16 @@ def _invariant_checks(built: BuiltScenario, tol: Tolerances,
 
 def _campaign_check(scenario: Scenario, engines: Sequence[EngineConfig],
                     base: SimOptions, tol: Tolerances,
-                    result: CheckResult) -> None:
-    """Fault-verdict bit-identity across the engine matrix."""
+                    result: CheckResult, store=None) -> None:
+    """Fault-verdict bit-identity across the engine matrix.
+
+    ``store`` memoizes each engine's campaign under a per-engine
+    namespace: replaying a corpus witness (or re-fuzzing a seed) serves
+    every engine's records from cache, while the namespaces keep the
+    engines' records separate — a cached cross-check still compares
+    six independently-computed verdict tables, never one engine's
+    cache against itself.
+    """
     tables: Dict[str, Dict[str, Tuple[Dict[str, str], bool]]] = {}
     for engine in engines:
         built = build_scenario(scenario)
@@ -316,7 +324,8 @@ def _campaign_check(scenario: Scenario, engines: Sequence[EngineConfig],
                 built.circuit, built.defects, _fresh_oracles(built),
                 options=options, delta=engine.delta,
                 batched=engine.batched,
-                parallel=engine.parallel, workers=engine.workers)
+                parallel=engine.parallel, workers=engine.workers,
+                store=store, store_namespace=f"verify:{engine.name}")
         except Exception as error:
             result.disagreements.append(Disagreement(
                 kind="campaign-error", engine_a=engine.name, engine_b="",
@@ -441,8 +450,15 @@ def cross_check(scenario: Scenario,
                 tolerances: Tolerances = Tolerances(),
                 base_options: SimOptions = VERIFY_OPTIONS,
                 check_invariants: bool = True,
-                check_transient: bool = True) -> CheckResult:
-    """Run ``scenario`` under every engine and collect disagreements."""
+                check_transient: bool = True,
+                store=None) -> CheckResult:
+    """Run ``scenario`` under every engine and collect disagreements.
+
+    ``store`` (a :class:`repro.store.ResultStore` or path) caches each
+    engine's campaign records under a per-engine namespace, so repeat
+    verifications (corpus replays, nightly fuzz re-runs) skip solves
+    that already happened without weakening the cross-check.
+    """
     if not engines:
         raise ValueError("need at least one engine config")
     result = CheckResult(scenario=scenario,
@@ -453,7 +469,7 @@ def cross_check(scenario: Scenario,
         _invariant_checks(baseline_built, tolerances, result)
     if scenario.defects:
         _campaign_check(scenario, engines, base_options, tolerances,
-                        result)
+                        result, store=store)
     if scenario.transient is not None and check_transient:
         transient_engines = list(engines)
         if not any(e.adaptive for e in transient_engines):

@@ -25,6 +25,7 @@ EXAMPLES = {
     "healing_study": None,
     "detector_design_space": None,
     "sequential_bist": None,
+    "service_smoke": None,
     "paper_scale_reproduction": (["--quick", "--only", "fig2"],),
 }
 
