@@ -42,6 +42,14 @@ trajectory to compare against:
   cache (gated ≥10x over cold with ≥95% hit-rate and field-identical
   records), and a concurrent-client load test over the JSON-lines TCP
   front end.
+* **observability** — the operational-observability layer: the
+  Chrome/Perfetto exporter round-trips every span of the telemetry
+  section's trace into ``BENCH_trace.perfetto.json``, a parallel
+  traced campaign's events all carry the root ``trace_id``, the
+  sampling profiler stays under 5% overhead on a traced campaign, the
+  hotspot table is non-empty with self-times bounded by wall time, and
+  a live TCP service's ``stats`` op parses as Prometheus text
+  exposition.
 
 Both baseline and optimized run in this same process (same BLAS, same
 interpreter), so the reported speedups are apples-to-apples.  Run with::
@@ -78,6 +86,7 @@ OUTPUT = REPO_ROOT / "BENCH_sim.json"
 TRACE_OUTPUT = REPO_ROOT / "BENCH_trace.jsonl"
 REPORT_OUTPUT = REPO_ROOT / "BENCH_report.md"
 CHECKPOINT_OUTPUT = REPO_ROOT / "BENCH_checkpoint.jsonl"
+PERFETTO_OUTPUT = REPO_ROOT / "BENCH_trace.perfetto.json"
 
 #: Acceptance targets for the optimisation passes.
 CAMPAIGN_TARGET = 3.0
@@ -99,6 +108,11 @@ SERVICE_MIN_HIT_RATE = 0.95
 #: Cold sharded run must stay close to ideal scaling:
 #: serial_time / (workers x cold_wall).
 SERVICE_MIN_EFFICIENCY = 0.7
+#: Sampling profiler attached to a traced campaign, percent overhead.
+OBSERVABILITY_MAX_OVERHEAD_PCT = 5.0
+#: Profiler sampling interval for the bench runs (fine enough that a
+#: sub-second campaign still collects a meaningful sample count).
+PROFILE_BENCH_INTERVAL_S = 0.002
 
 
 def _best_of(func, repeats: int = 3) -> float:
@@ -475,6 +489,164 @@ def bench_robustness() -> dict:
     }
 
 
+def bench_observability() -> dict:
+    """The operational-observability layer, gated end to end.
+
+    Five checks, every ``*_ok`` flag a CI gate:
+
+    * the Chrome/Perfetto export round-trips every span of
+      ``BENCH_trace.jsonl`` (written by :func:`bench_telemetry`, which
+      therefore must run first) into ``BENCH_trace.perfetto.json``;
+    * a traced *parallel* campaign's events all carry the root
+      ``trace_id`` (cross-process trace-context propagation);
+    * a profiler-enabled campaign stays within
+      ``OBSERVABILITY_MAX_OVERHEAD_PCT`` of the traced-only run;
+    * the profiled run's hotspot table is non-empty with self-times
+      summing to at most the measured wall time;
+    * a live TCP service's ``stats`` op returns a body that strictly
+      parses as Prometheus text exposition, with the expected samples.
+    """
+    import asyncio
+
+    from repro.telemetry import (aggregate_hotspots, chrome_trace_events,
+                                 parse_prometheus, read_jsonl,
+                                 write_chrome_trace)
+
+    chain, oracles, defects = _campaign_bench()
+
+    # 1. Perfetto export round-trip over the telemetry section's trace.
+    events = read_jsonl(str(TRACE_OUTPUT))
+    source_spans = [e for e in events if e.get("type") == "span"]
+    exported = chrome_trace_events(events)
+    roundtrip_ok = (
+        len(exported) == len(source_spans)
+        and sorted(e["name"] for e in exported)
+        == sorted(s["name"] for s in source_spans)
+        and all(e["ph"] == "X" and e["dur"] >= 0 for e in exported))
+    write_chrome_trace(events, str(PERFETTO_OUTPUT))
+
+    # 2. Cross-process trace propagation on a parallel traced campaign.
+    telemetry = Telemetry.capturing()
+    run_campaign(chain.circuit, defects, oracles, parallel=True,
+                 options=SimOptions(telemetry=telemetry))
+    telemetry.flush_metrics()
+    root_trace = telemetry.tracer.trace_id
+    traced_events = [e for e in telemetry.events()
+                     if e.get("type") != "meta"]
+    propagation_ok = (
+        len(traced_events) > len(defects)
+        and all(e.get("trace_id") == root_trace for e in traced_events)
+        and len({e.get("pid") for e in traced_events
+                 if e.get("type") == "span"}) >= 1)
+
+    # 3. Profiler overhead: traced campaign with vs without the sampler,
+    # interleaved pairs with the telemetry section's retry discipline.
+    def run_traced():
+        run_campaign(chain.circuit, defects, oracles,
+                     options=SimOptions(telemetry=Telemetry.capturing()))
+
+    def run_profiled():
+        run_campaign(chain.circuit, defects, oracles,
+                     options=SimOptions(
+                         telemetry=Telemetry.capturing(), profile=True,
+                         profile_interval_s=PROFILE_BENCH_INTERVAL_S))
+
+    def measure_overhead_once(pairs: int = 10):
+        best_traced = best_profiled = float("inf")
+        for _ in range(pairs):
+            gc.collect()
+            start = time.perf_counter()
+            run_traced()
+            best_traced = min(best_traced, time.perf_counter() - start)
+            gc.collect()
+            start = time.perf_counter()
+            run_profiled()
+            best_profiled = min(best_profiled,
+                                time.perf_counter() - start)
+        return best_traced, best_profiled
+
+    run_traced(), run_profiled()
+    attempts = []
+    for _ in range(3):
+        traced_s, profiled_s = measure_overhead_once()
+        attempts.append(round((profiled_s / traced_s - 1.0) * 100.0, 2))
+        if attempts[-1] <= OBSERVABILITY_MAX_OVERHEAD_PCT:
+            break
+    overhead_pct = attempts[-1]
+
+    # 4. Hotspot aggregation from one dedicated profiled run.
+    profile_tel = Telemetry.capturing()
+    start = time.perf_counter()
+    run_campaign(chain.circuit, defects, oracles,
+                 options=SimOptions(
+                     telemetry=profile_tel, profile=True,
+                     profile_interval_s=PROFILE_BENCH_INTERVAL_S))
+    profiled_wall_s = time.perf_counter() - start
+    profile_events = [e for e in profile_tel.events()
+                      if e.get("type") == "profile"]
+    hotspots = aggregate_hotspots(profile_events)
+    self_total_s = sum(row["self_s"] for row in hotspots)
+    hotspots_ok = (len(hotspots) > 0
+                   and 0.0 < self_total_s <= profiled_wall_s)
+
+    # 5. Live-service Prometheus scrape over the real TCP front end.
+    async def scrape() -> dict:
+        import tempfile
+
+        from repro.service import CampaignService, JobSpec, \
+            submit_and_stream
+        with tempfile.TemporaryDirectory() as tmpdir:
+            service = CampaignService(store=tmpdir, workers=2)
+            server = await service.serve(port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            spec = JobSpec(stages=2, kinds=("pipe",),
+                           pipe_resistances=(4e3,), limit=4)
+            await submit_and_stream(host, port, spec)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op":"stats"}\n')
+            await writer.drain()
+            payload = json.loads(await reader.readline())
+            writer.close()
+            server.close()
+            await server.wait_closed()
+        return payload
+
+    try:
+        stats_payload = scrape_samples = None
+        stats_payload = asyncio.run(scrape())
+        scrape_samples = parse_prometheus(stats_payload["exposition"])
+        scrape_ok = (
+            scrape_samples.get("repro_service_jobs_submitted", 0) >= 1
+            and scrape_samples.get("repro_service_jobs_completed", 0) >= 1
+            and 'repro_service_job_wall_s{quantile="0.5"}' in scrape_samples
+            and "repro_service_job_wall_s_count" in scrape_samples)
+    except (ValueError, KeyError, OSError):
+        scrape_ok = False
+
+    return {
+        "spans_in_trace": len(source_spans),
+        "spans_exported": len(exported),
+        "export_roundtrip_ok": roundtrip_ok,
+        "perfetto_artifact": PERFETTO_OUTPUT.name,
+        "parallel_events": len(traced_events),
+        "trace_propagation_ok": propagation_ok,
+        "profile_overhead_pct": overhead_pct,
+        "profile_overhead_attempts_pct": attempts,
+        "max_profile_overhead_pct": OBSERVABILITY_MAX_OVERHEAD_PCT,
+        "profile_overhead_ok":
+            overhead_pct <= OBSERVABILITY_MAX_OVERHEAD_PCT,
+        "profile_samples": sum(e.get("n_samples", 0)
+                               for e in profile_events),
+        "hotspot_functions": len(hotspots),
+        "hotspot_top": [row["function"] for row in hotspots[:3]],
+        "hotspot_self_total_s": round(self_total_s, 4),
+        "profiled_wall_s": round(profiled_wall_s, 4),
+        "hotspots_ok": hotspots_ok,
+        "prometheus_samples": len(scrape_samples or {}),
+        "scrape_ok": scrape_ok,
+    }
+
+
 def bench_campaign_service() -> dict:
     """Cold sharded service run vs warm (fully cached) re-submission.
 
@@ -595,6 +767,8 @@ def main() -> int:
         "telemetry": bench_telemetry(),
         "robustness": bench_robustness(),
         "campaign_service": bench_campaign_service(),
+        # Depends on bench_telemetry's BENCH_trace.jsonl artifact.
+        "observability": bench_observability(),
     }
     ok = True
     for name, section in results.items():

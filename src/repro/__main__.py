@@ -12,6 +12,10 @@ Usage::
     python -m repro verify --seed 0 --budget 60s
     python -m repro verify --replay tests/corpus/shared_monitor_pipe.json
     python -m repro serve --port 8765 --store results/
+    python -m repro report run.jsonl
+    python -m repro trace export run.jsonl -o run.perfetto.json
+    python -m repro trace export run.jsonl -o run.folded --format collapsed
+    python -m repro top 127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -199,6 +203,119 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_report(args) -> int:
+    from .telemetry import RunReport
+
+    try:
+        report = RunReport.from_jsonl(args.trace)
+    except OSError as error:
+        print(f"cannot read {args.trace}: {error}", file=sys.stderr)
+        return 2
+    print(report.render(markdown=args.markdown))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .telemetry import export_trace, read_jsonl
+
+    if args.trace_command == "report":
+        return _cmd_report(args)
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as error:
+        print(f"cannot read {args.trace}: {error}", file=sys.stderr)
+        return 2
+    n = export_trace(events, args.output, fmt=args.format)
+    what = "span(s)" if args.format == "chrome" else "stack line(s)"
+    print(f"wrote {n} {what} to {args.output} ({args.format} format)")
+    return 0
+
+
+def _scrape_stats(host: str, port: int, timeout: float = 5.0) -> dict:
+    """One ``stats`` round-trip against a live campaign service."""
+    import json
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b'{"op":"stats"}\n')
+        handle = sock.makefile("rb")
+        line = handle.readline()
+    if not line:
+        raise ConnectionError("service closed the connection")
+    return json.loads(line)
+
+
+def _render_top(stats: dict, previous: dict, interval: float) -> str:
+    """One frame of the live-service dashboard."""
+    lines = ["repro service dashboard"
+             f" — {time.strftime('%H:%M:%S')}"
+             f" (uptime {stats.get('uptime_s', 0):.0f}s,"
+             f" trace {stats.get('trace_id', '-')})",
+             ""]
+
+    def rate(key: str) -> str:
+        if not previous or interval <= 0:
+            return "-"
+        delta = stats.get(key, 0) - previous.get(key, 0)
+        return f"{delta / interval:.2f}/s"
+
+    rows = [
+        ("jobs submitted", stats.get("jobs_submitted", 0), rate(
+            "jobs_submitted")),
+        ("jobs completed", stats.get("jobs_completed", 0), rate(
+            "jobs_completed")),
+        ("jobs failed", stats.get("jobs_failed", 0), ""),
+        ("jobs running", stats.get("jobs_running", 0), ""),
+        ("queue depth", stats.get("queue_depth", 0),
+         f"max {stats.get('max_queue_depth', 0)}"),
+        ("defects solved", stats.get("defects_total", 0), rate(
+            "defects_total")),
+        ("workers", stats.get("workers", 0), ""),
+    ]
+    store = stats.get("store")
+    if store:
+        lookups = store.get("hits", 0) + store.get("misses", 0)
+        hit_rate = store.get("hits", 0) / lookups if lookups else 0.0
+        rows.extend([
+            ("store records", store.get("records", 0), ""),
+            ("store hit rate", f"{hit_rate:.1%}",
+             f"{store.get('hits', 0)} hit(s) /"
+             f" {store.get('misses', 0)} miss(es)"),
+        ])
+    width = max(len(label) for label, _, _ in rows)
+    for label, value, extra in rows:
+        suffix = f"  {extra}" if extra else ""
+        lines.append(f"  {label:<{width}}  {value}{suffix}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"expected host:port, got {args.address!r}", file=sys.stderr)
+        return 2
+
+    previous: dict = {}
+    while True:
+        try:
+            stats = _scrape_stats(host, int(port))
+        except (OSError, ValueError) as error:
+            print(f"cannot reach service at {args.address}: {error}",
+                  file=sys.stderr)
+            return 1
+        frame = _render_top(stats, previous, args.interval)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear-screen + home keeps the dashboard in place.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+        previous = stats
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -297,6 +414,42 @@ def main(argv=None) -> int:
                         help="re-check serialized scenarios instead of "
                              "fuzzing")
 
+    report = sub.add_parser(
+        "report",
+        help="render a RunReport from a saved JSONL trace")
+    report.add_argument("trace", metavar="TRACE.jsonl")
+    report.add_argument("--markdown", action="store_true",
+                        help="emit Markdown instead of aligned text")
+
+    trace = sub.add_parser(
+        "trace",
+        help="work with saved JSONL traces (export, report)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to a standard format")
+    trace_export.add_argument("trace", metavar="TRACE.jsonl")
+    trace_export.add_argument("-o", "--output", required=True,
+                              help="output file path")
+    trace_export.add_argument("--format", default="chrome",
+                              choices=["chrome", "collapsed"],
+                              help="chrome: Perfetto/chrome://tracing "
+                                   "JSON; collapsed: flamegraph stacks")
+    trace_report = trace_sub.add_parser(
+        "report", help="same as 'repro report'")
+    trace_report.add_argument("trace", metavar="TRACE.jsonl")
+    trace_report.add_argument("--markdown", action="store_true")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running campaign service")
+    top.add_argument("address", metavar="HOST:PORT",
+                     help="service address, e.g. 127.0.0.1:8765")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="poll interval in seconds (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clearing)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -310,8 +463,22 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return 2  # pragma: no cover
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly (dup the
+        # devnull over stdout so the interpreter's flush-at-exit does
+        # not raise the same error again).
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -32,7 +32,8 @@ from ..sim.dc import (ConvergenceError, DcSolution, DeltaContext, NewtonStats,
 from ..sim.mna import CACHE_STATS, SingularMatrixError, structure_for
 from ..sim.options import DEFAULT_OPTIONS, SimOptions
 from ..store import ResultStore, campaign_fingerprint, result_key
-from ..telemetry import Telemetry, record_newton_stats, telemetry_for
+from ..telemetry import (Telemetry, profiler_for, record_newton_stats,
+                         telemetry_for)
 from .defects import Defect
 from .injector import inject
 
@@ -559,7 +560,8 @@ class _WorkerResult:
 
 
 def _solve_defect_shipped(defect: Defect, *, solver, kwargs: Dict,
-                          capture: bool) -> _WorkerResult:
+                          capture: bool,
+                          trace_context=None) -> _WorkerResult:
     """Worker-process wrapper: solve one defect, ship stats (+telemetry).
 
     Used by every parallel campaign.  The worker's MNA structure-cache
@@ -568,12 +570,15 @@ def _solve_defect_shipped(defect: Defect, *, solver, kwargs: Dict,
     ``capture`` (tracing on) the worker additionally records into a
     fresh in-memory Telemetry — the parent cannot ship its tracer (open
     file handles) across the process boundary — and returns the span
-    events and metrics snapshot for the parent to merge, re-parenting
-    the spans under the campaign span and folding the counters into the
-    parent registry, which keeps parallel campaign telemetry identical
-    to a serial run's.
+    events and metrics snapshot for the parent to merge.
+    ``trace_context`` carries the campaign's
+    :class:`~repro.telemetry.TraceContext`: the worker's spans are born
+    in the campaign's trace (root ``trace_id``, parented under the
+    campaign span), so ``Tracer.ingest`` correlates them by id and the
+    merged registry stays identical to a serial run's.
     """
-    telemetry = Telemetry.capturing() if capture else None
+    telemetry = (Telemetry.capturing(context=trace_context)
+                 if capture else None)
     if capture:
         kwargs = dict(kwargs,
                       options=replace(kwargs["options"], telemetry=telemetry))
@@ -700,10 +705,12 @@ def _solve_defect_batch(batch: Sequence[Defect], *, circuit: Circuit,
 
 
 def _solve_batch_shipped(batch: Sequence[Defect], *, kwargs: Dict,
-                         capture: bool) -> _WorkerResult:
+                         capture: bool,
+                         trace_context=None) -> _WorkerResult:
     """Worker-process wrapper for one batch (see
     :func:`_solve_defect_shipped` for the shipping/merge contract)."""
-    telemetry = Telemetry.capturing() if capture else None
+    telemetry = (Telemetry.capturing(context=trace_context)
+                 if capture else None)
     if capture:
         kwargs = dict(kwargs,
                       options=replace(kwargs["options"], telemetry=telemetry))
@@ -1039,15 +1046,27 @@ def run_campaign(circuit: Circuit, defects: Sequence[Defect],
                                   parallel, workers,
                                   chunk_size, progress, checkpoint, resume,
                                   store, store_namespace, None, None)
+    profiler = profiler_for(options)
     with tel.span("campaign", n_defects=len(defects),
                   oracles=[oracle.name for oracle in oracles],
                   warm_start=warm_start, delta=delta, batched=batched,
                   parallel=parallel) as span:
-        result = _run_campaign_impl(circuit, defects, oracles, options,
-                                    warm_start, delta, batched, batch_size,
-                                    parallel, workers,
-                                    chunk_size, progress, checkpoint, resume,
-                                    store, store_namespace, tel, span)
+        if profiler is not None:
+            profiler.start()
+        try:
+            result = _run_campaign_impl(circuit, defects, oracles, options,
+                                        warm_start, delta, batched,
+                                        batch_size, parallel, workers,
+                                        chunk_size, progress, checkpoint,
+                                        resume, store, store_namespace,
+                                        tel, span)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+                # The profile correlates to the campaign span it covered.
+                tel.tracer.emit(profiler.to_event(
+                    span_id=span.span_id, trace_id=tel.tracer.trace_id))
+                span.set(profile_samples=profiler.n_samples)
         aggregate = result.aggregate_stats()
         if batched:
             span.set(n_batched_solves=result.n_batched_solves,
@@ -1256,8 +1275,12 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
         kwargs["x_ref"] = reference.x.copy()
     capture = parallel and tel is not None
     if parallel:
+        # Workers join the campaign's trace: spans they create carry the
+        # root trace_id and parent under the campaign span from birth.
+        trace_context = tel.tracer.context(span) if capture else None
         solve = functools.partial(_solve_defect_shipped, solver=solver,
-                                  kwargs=kwargs, capture=capture)
+                                  kwargs=kwargs, capture=capture,
+                                  trace_context=trace_context)
     else:
         solve = functools.partial(solver, **kwargs)
 
@@ -1284,7 +1307,8 @@ def _solve_todo(circuit: Circuit, todo: List[Defect],
                                       else None),
                        max_chunk_retries=options.max_chunk_retries,
                        retry_backoff=options.chunk_retry_backoff_s,
-                       on_error="return")
+                       on_error="return",
+                       metrics=tel.metrics if tel is not None else None)
     records: List[FaultRecord] = []
     parent_id = span.span_id if span is not None else None
     parent_pid = os.getpid()
@@ -1327,8 +1351,10 @@ def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
                         x_ref=reference.x.copy())
     capture = parallel and tel is not None
     if parallel:
+        trace_context = tel.tracer.context(span) if capture else None
         solve = functools.partial(_solve_batch_shipped, kwargs=kwargs,
-                                  capture=capture)
+                                  capture=capture,
+                                  trace_context=trace_context)
     else:
         solve = functools.partial(_solve_defect_batch, **kwargs)
 
@@ -1359,7 +1385,8 @@ def _solve_todo_batched(circuit: Circuit, todo: List[Defect],
                                       else None),
                        max_chunk_retries=options.max_chunk_retries,
                        retry_backoff=options.chunk_retry_backoff_s,
-                       on_error="return")
+                       on_error="return",
+                       metrics=tel.metrics if tel is not None else None)
     records: List[FaultRecord] = []
     parent_id = span.span_id if span is not None else None
     parent_pid = os.getpid()

@@ -144,7 +144,8 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
                  max_chunk_retries: int = 1,
                  retry_backoff: float = 0.1,
                  on_error: str = "raise",
-                 on_result: Optional[Callable[[int, Any], None]] = None
+                 on_result: Optional[Callable[[int, Any], None]] = None,
+                 metrics: Optional[Any] = None
                  ) -> List[R]:
     """Map ``func`` over ``items``, fanning out to a process pool.
 
@@ -184,6 +185,13 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
       fallback would have raised it; ``"return"`` records a
       :class:`MapFailure` in the item's result slot and keeps going.
       Hung items raise :class:`MapTimeoutError` under ``"raise"``.
+
+    ``metrics`` (duck-typed on
+    :class:`~repro.telemetry.MetricsRegistry`) counts fault-tolerance
+    events: ``parallel.chunk_retries``, ``parallel.chunks_hung`` and
+    ``parallel.items_isolated``.  Counters are only created when such
+    an event actually happens, so a healthy run leaves the registry
+    untouched (and serial/parallel campaign snapshots stay identical).
     """
     items = list(items)
     total = len(items)
@@ -235,7 +243,9 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
 
     leftover, hung, pooled = _pool_phase(func, items, spans, workers,
                                          chunk_timeout, max_chunk_retries,
-                                         retry_backoff, finalize)
+                                         retry_backoff, finalize, metrics)
+    if metrics is not None and hung:
+        metrics.counter("parallel.chunks_hung").add(len(hung))
 
     # Hung chunks first: their workers never answered, so their items are
     # *not* rerun in-process (a deterministic hang would wedge the parent
@@ -266,6 +276,11 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], *,
     pending_items = [(index, attempts)
                      for (start, stop), attempts in leftover
                      for index in range(start, stop)]
+    # Only counted when pool machinery worked: a pool-less platform
+    # (everything leftover by construction) is an environment property,
+    # not a fault event, and must not perturb the metrics registry.
+    if metrics is not None and pending_items and pooled:
+        metrics.counter("parallel.items_isolated").add(len(pending_items))
     if pooled and chunk_timeout is not None:
         _rerun_isolated(func, items, pending_items, chunk_timeout,
                         on_error, finalize)
@@ -379,7 +394,8 @@ def _rerun_isolated(func, items: List[Any],
 def _pool_phase(func, items: List[Any], spans: List[_Span], workers: int,
                 chunk_timeout: Optional[float], max_chunk_retries: int,
                 retry_backoff: float,
-                finalize: Callable[[int, Any], None]
+                finalize: Callable[[int, Any], None],
+                metrics: Optional[Any] = None
                 ) -> Tuple[List[Tuple[_Span, int]],
                            List[Tuple[_Span, int]], bool]:
     """Fan chunks out to a process pool, salvaging whatever completes.
@@ -450,6 +466,8 @@ def _pool_phase(func, items: List[Any], spans: List[_Span], workers: int,
                         if retry_backoff > 0:
                             time.sleep(retry_backoff * attempts[span])
                         attempts[span] += 1
+                        if metrics is not None:
+                            metrics.counter("parallel.chunk_retries").add()
                         try:
                             retry = submit(span)
                         except Exception:

@@ -16,7 +16,11 @@ Observability goes through the normal telemetry schema: a
 ``service.job`` span per job (wrapping the campaign's own span tree),
 ``service.jobs_submitted`` / ``jobs_completed`` / ``jobs_failed``
 counters, a ``service.queue_depth`` gauge, and a ``service.job_wall_s``
-histogram, all renderable via :class:`repro.telemetry.RunReport`.
+histogram, all renderable via :class:`repro.telemetry.RunReport`.  The
+``stats`` wire op additionally returns the registry as Prometheus text
+exposition (:meth:`CampaignService.exposition`), making a live server
+scrapable; ``python -m repro top host:port`` renders the same stats as
+a terminal dashboard.
 
 The solver work itself is synchronous, CPU-bound code; jobs run on the
 default thread-pool executor (one at a time by default — each job
@@ -36,7 +40,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..faults import CampaignResult, defect_key, run_campaign
 from ..parallel import balanced_chunk_size, default_workers
 from ..store import ResultStore
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, prometheus_exposition
 from .jobs import JobSpec, build_campaign_job
 
 #: Job lifecycle states.
@@ -116,6 +120,7 @@ class CampaignService:
         self._gate = asyncio.Semaphore(max(1, max_concurrent_jobs))
         self._open = 0
         self.max_queue_depth = 0
+        self.started_at = time.time()
 
     # -- submission ------------------------------------------------------
 
@@ -213,13 +218,35 @@ class CampaignService:
             "jobs_completed": metrics.counter_value(
                 "service.jobs_completed"),
             "jobs_failed": metrics.counter_value("service.jobs_failed"),
+            "jobs_running": sum(1 for job in self.jobs.values()
+                                if job.status == RUNNING),
             "queue_depth": self._open,
             "max_queue_depth": self.max_queue_depth,
             "workers": self.workers,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "defects_total": metrics.counter_value("campaign.defects"),
+            "trace_id": self.telemetry.tracer.trace_id,
         }
         if self.store is not None:
             payload["store"] = self.store.stats()
         return payload
+
+    def exposition(self) -> str:
+        """The service registry as Prometheus text exposition.
+
+        Served on the wire by the ``stats`` op (plus live queue-depth
+        and store gauges refreshed at scrape time), so a running
+        ``python -m repro serve`` process is scrapable by anything that
+        speaks the format.
+        """
+        metrics = self.telemetry.metrics
+        metrics.gauge("service.queue_depth").set(self._open)
+        metrics.gauge("service.uptime_s").set(
+            round(time.time() - self.started_at, 3))
+        if self.store is not None:
+            for key, value in self.store.stats().items():
+                metrics.gauge(f"store.{key}").set(value)
+        return prometheus_exposition(metrics)
 
     # -- TCP front end ---------------------------------------------------
 
@@ -254,7 +281,8 @@ class CampaignService:
                     if op == "ping":
                         await send({"event": "pong"})
                     elif op == "stats":
-                        await send({"event": "stats", **self.stats()})
+                        await send({"event": "stats", **self.stats(),
+                                    "exposition": self.exposition()})
                     elif op == "submit":
                         await self._handle_submit(request, send)
                     else:
@@ -276,6 +304,7 @@ class CampaignService:
     async def _handle_submit(self, request: Dict[str, Any], send) -> None:
         job = await self.submit(request.get("spec") or {})
         await send({"event": "accepted", "job_id": job.job_id,
+                    "trace_id": self.telemetry.tracer.trace_id,
                     "tags": dict(job.spec.tags)})
         async for event in job.stream():
             await send(event)
@@ -287,6 +316,7 @@ class CampaignService:
         assert result is not None
         await send({
             "event": "done", "job_id": job.job_id,
+            "trace_id": self.telemetry.tracer.trace_id,
             "wall_s": round(job.wall_s, 4),
             "n_defects": len(result.records),
             "n_store_hits": result.n_store_hits,

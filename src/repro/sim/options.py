@@ -148,6 +148,16 @@ class SimOptions:
     #: solver caches keyed on option equality stay shared.
     telemetry: Optional["Telemetry"] = field(
         default=None, compare=False, repr=False)
+    #: Attach the sampling wall-clock profiler to campaigns run with
+    #: these options (see :mod:`repro.telemetry.profile`).  The profile
+    #: is emitted as a ``profile`` event into the campaign's trace and
+    #: rendered as a hotspot table by RunReport.  Falls back to the
+    #: ``REPRO_PROFILE`` environment variable when False.  Excluded
+    #: from equality for the same reason as :attr:`telemetry`.
+    profile: bool = field(default=False, compare=False)
+    #: Profiler sampling interval in seconds; 0 means the default
+    #: (:data:`repro.telemetry.profile.DEFAULT_INTERVAL_S`).
+    profile_interval_s: float = field(default=0.0, compare=False)
 
     def reuse_enabled(self, new_path: bool) -> bool:
         """Resolve :attr:`newton_reuse` for a solve.

@@ -36,7 +36,7 @@ FINGERPRINT_SCHEMA = 1
 #: *included*: it can turn a slow solve into a quarantine.
 EXECUTION_ONLY_OPTION_FIELDS = frozenset({
     "telemetry", "chunk_timeout_s", "max_chunk_retries",
-    "chunk_retry_backoff_s",
+    "chunk_retry_backoff_s", "profile", "profile_interval_s",
 })
 
 

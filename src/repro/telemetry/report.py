@@ -14,10 +14,14 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from .metrics import MetricsRegistry
+from .profile import aggregate_hotspots
 from .sinks import read_jsonl
 
 #: How many rows the "slowest" / "outlier" tables show.
 TOP_N = 5
+
+#: How many rows the profiler hotspot table shows.
+HOTSPOT_TOP_N = 10
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
@@ -54,6 +58,7 @@ class RunReport:
 
     def __init__(self, events: Sequence[Dict[str, Any]]):
         self.spans = [e for e in events if e.get("type") == "span"]
+        self.profiles = [e for e in events if e.get("type") == "profile"]
         self.metrics = MetricsRegistry()
         # Metrics events are cumulative registry snapshots (a registry
         # only ever grows), so a trace holding several flushes — e.g.
@@ -233,6 +238,30 @@ class RunReport:
                        reverse=True)
         return (failed + converged)[:limit]
 
+    def hotspots(self, limit: int = HOTSPOT_TOP_N) -> List[Dict[str, Any]]:
+        """Per-function self/total seconds from the trace's ``profile``
+        events (see :func:`~repro.telemetry.profile.aggregate_hotspots`),
+        empty when the run was not profiled."""
+        return aggregate_hotspots(self.profiles, limit=limit)
+
+    def histogram_quantiles(self) -> List[Dict[str, Any]]:
+        """One row per histogram instrument: count, mean, p50/p95/p99,
+        max — the latency-distribution view of the run."""
+        rows = []
+        histograms = self.metrics.snapshot().get("histograms", {})
+        for name in sorted(histograms):
+            summary = histograms[name]
+            rows.append({
+                "name": name,
+                "count": summary.get("count", 0),
+                "mean": summary.get("mean", 0.0),
+                "p50": summary.get("p50"),
+                "p95": summary.get("p95"),
+                "p99": summary.get("p99"),
+                "max": summary.get("max"),
+            })
+        return rows
+
     # -- rendering -------------------------------------------------------
 
     def render(self, markdown: bool = False) -> str:
@@ -260,6 +289,16 @@ class RunReport:
             sections.append(_table(
                 ["phase", "count", "total (s)", "mean (s)"], phase_rows,
                 "Per-phase time breakdown", markdown))
+
+        hotspot_rows = [[r["function"], r["self_s"], r["total_s"],
+                         f"{r['self_pct']:.1f}%"]
+                        for r in self.hotspots()]
+        if hotspot_rows:
+            samples = sum(e.get("n_samples", 0) for e in self.profiles)
+            sections.append(_table(
+                ["function", "self (s)", "total (s)", "self %"],
+                hotspot_rows,
+                f"Profiler hotspots ({samples} samples)", markdown))
 
         slow_rows = [[s["attrs"].get("defect", "?"),
                       s["attrs"].get("solver", "-"),
@@ -336,6 +375,15 @@ class RunReport:
                             for oracle, row in sorted(verdicts.items())]
             sections.append(_table(["oracle"] + states, verdict_rows,
                                    "Detector verdicts", markdown))
+
+        quantile_rows = [[r["name"], r["count"], r["mean"], r["p50"],
+                          r["p95"], r["p99"], r["max"]]
+                         for r in self.histogram_quantiles()
+                         if r["count"]]
+        if quantile_rows:
+            sections.append(_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                quantile_rows, "Histogram quantiles", markdown))
 
         counters = self.metrics.snapshot()["counters"]
         if counters:

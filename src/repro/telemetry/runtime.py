@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional
 
 from .metrics import MetricsRegistry, record_newton_stats
 from .sinks import InMemorySink, JsonlSink
-from .trace import Span, Tracer
+from .trace import Span, TraceContext, Tracer
 
 #: Environment variable enabling JSONL tracing without code changes.
 TRACE_ENV_VAR = "REPRO_TRACE"
@@ -50,9 +50,16 @@ class Telemetry:
         return cls(tracer=Tracer([JsonlSink(path)]))
 
     @classmethod
-    def capturing(cls) -> "Telemetry":
-        """Telemetry buffering events in memory (tests, worker capture)."""
-        telemetry = cls()
+    def capturing(cls,
+                  context: Optional[TraceContext] = None) -> "Telemetry":
+        """Telemetry buffering events in memory (tests, worker capture).
+
+        With a :class:`TraceContext` the capturing tracer joins the
+        parent's trace — worker events come back already carrying the
+        root ``trace_id`` and parented under the context span, so
+        ``Tracer.ingest`` passes them through by id.
+        """
+        telemetry = cls(tracer=Tracer(context=context))
         telemetry._memory = InMemorySink()
         telemetry.tracer.sinks.append(telemetry._memory)
         return telemetry
@@ -82,6 +89,7 @@ class Telemetry:
         """Emit the current metrics snapshot as one trace event."""
         snapshot = self.metrics.snapshot()
         snapshot["type"] = "metrics"
+        snapshot["trace_id"] = self.tracer.trace_id
         self.tracer.emit(snapshot)
 
     def close(self) -> None:

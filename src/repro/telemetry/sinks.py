@@ -76,12 +76,29 @@ class JsonlSink:
             self._pid = None
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load every event of a JSONL trace file (blank lines skipped)."""
+def read_jsonl(path: str, strict: bool = False) -> List[Dict[str, Any]]:
+    """Load every event of a JSONL trace file (blank lines skipped).
+
+    A trace written by a crashed or killed campaign can end in a torn
+    line (partial write) and an operator-edited file can carry garbage;
+    by default such undecodable lines are skipped so the readable
+    prefix of the trace still loads.  ``strict=True`` restores the old
+    raise-on-first-bad-line behaviour.
+    """
     events = []
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            elif strict:
+                raise ValueError(f"non-object JSONL event: {line[:80]!r}")
     return events

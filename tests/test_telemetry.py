@@ -93,8 +93,13 @@ class TestMetrics:
         snap = registry.snapshot()
         assert snap["counters"] == {"c": 5}
         assert snap["gauges"] == {"g": 2.5}
-        assert snap["histograms"]["h"] == {
-            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        h = snap["histograms"]["h"]
+        assert {k: h[k] for k in ("count", "sum", "min", "max", "mean")} \
+            == {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        # Quantiles ride along (log-bucket approximations, clamped).
+        assert h["p50"] == 1.0
+        assert h["p99"] == 3.0
+        assert sum(h["buckets"].values()) == 2
 
     def test_merge_adds_counters_and_histograms(self):
         a, b = MetricsRegistry(), MetricsRegistry()
