@@ -50,6 +50,17 @@ trajectory to compare against:
   hotspot table is non-empty with self-times bounded by wall time, and
   a live TCP service's ``stats`` op parses as Prometheus text
   exposition.
+* **testgen_atpg** — the gate-level ATPG engine on the ISCAS-like
+  benchmark networks (500 and 1000 gates): strict stuck-at fault
+  coverage gated at 99% on the 500-gate network, every unclassified
+  fault re-screened with a large independent random batch (gate: none
+  detectable — the engine leaves behind only redundant faults it could
+  not prove untestable), wall time bounded per network, and a
+  structural no-enumeration check (PODEM calls bounded by the
+  collapsed fault list, applied vectors a vanishing fraction of the
+  2^inputs input space).  The per-vector coverage-growth curves (and a
+  sequential plan's toggle-coverage growth) land in
+  ``BENCH_atpg_growth.json``.
 
 Both baseline and optimized run in this same process (same BLAS, same
 interpreter), so the reported speedups are apples-to-apples.  Run with::
@@ -87,6 +98,7 @@ TRACE_OUTPUT = REPO_ROOT / "BENCH_trace.jsonl"
 REPORT_OUTPUT = REPO_ROOT / "BENCH_report.md"
 CHECKPOINT_OUTPUT = REPO_ROOT / "BENCH_checkpoint.jsonl"
 PERFETTO_OUTPUT = REPO_ROOT / "BENCH_trace.perfetto.json"
+ATPG_GROWTH_OUTPUT = REPO_ROOT / "BENCH_atpg_growth.json"
 
 #: Acceptance targets for the optimisation passes.
 CAMPAIGN_TARGET = 3.0
@@ -113,6 +125,14 @@ OBSERVABILITY_MAX_OVERHEAD_PCT = 5.0
 #: Profiler sampling interval for the bench runs (fine enough that a
 #: sub-second campaign still collects a meaningful sample count).
 PROFILE_BENCH_INTERVAL_S = 0.002
+#: Strict stuck-at coverage floor for the 500-gate ATPG benchmark
+#: (unclassified faults count *against* coverage, see AtpgRun.coverage).
+ATPG_MIN_COVERAGE = 0.99
+#: ATPG wall-time ceilings per benchmark network, seconds.  Measured
+#: ~1.3 s (500 gates) / ~13 s (1000 gates); generous CI margin.
+ATPG_MAX_RUNTIME_S = {"iscas_like_s1": 15.0, "iscas_like_s2": 90.0}
+#: Independent random re-screen of the engine's unclassified faults.
+ATPG_SCREEN_VECTORS = 8192
 
 
 def _best_of(func, repeats: int = 3) -> float:
@@ -751,6 +771,132 @@ def bench_campaign_service() -> dict:
     }
 
 
+def bench_testgen_atpg() -> dict:
+    """Gate-level ATPG on the ISCAS-like benchmarks, gated four ways.
+
+    * ``coverage_ok`` — strict stuck-at coverage (unclassified faults
+      count as missed) at least ``ATPG_MIN_COVERAGE`` on the 500-gate
+      network;
+    * ``no_detectable_missed_ok`` — every fault the engine left
+      unclassified is re-screened with ``ATPG_SCREEN_VECTORS``
+      independent random vectors; none may be detectable (i.e. the
+      engine only leaves behind redundant faults it could not prove
+      untestable within budget);
+    * ``runtime_ok`` — wall time per network under
+      ``ATPG_MAX_RUNTIME_S``;
+    * ``no_enumeration_ok`` — structural proof there is no 2^n path:
+      at most one PODEM call per collapsed fault and the total applied
+      vector count a vanishing fraction of the input space.
+
+    Also writes ``BENCH_atpg_growth.json``: the cumulative per-vector
+    fault-coverage curve for each combinational benchmark and the
+    toggle-coverage growth of a sequential test plan.
+    """
+    import random as _random
+    from collections import Counter
+
+    from repro.testgen import (BENCHMARKS, enumerate_stuck_faults,
+                               fault_detect_matrix, generate_tests,
+                               sequential_test_plan)
+
+    def fault_coverage_growth(network, vectors) -> list:
+        """Cumulative detected-fraction after each vector, in order."""
+        masks = fault_detect_matrix(network, vectors)
+        first = Counter((mask & -mask).bit_length() - 1
+                        for mask in masks.values() if mask)
+        growth, detected = [], 0
+        for k in range(len(vectors)):
+            detected += first.get(k, 0)
+            growth.append(round(detected / len(masks), 4))
+        return growth
+
+    sections = {}
+    growth_artifact = {}
+    coverage_ok = runtime_ok = no_detectable_missed_ok = True
+    no_enumeration_ok = True
+    for name in ("iscas_like_s1", "iscas_like_s2"):
+        network = BENCHMARKS[name]()
+        gc.collect()
+        start = time.perf_counter()
+        run = generate_tests(network)
+        wall_s = time.perf_counter() - start
+
+        # Re-screen the unclassified remainder with a fresh, much
+        # larger random batch than anything the engine itself applied.
+        rng = _random.Random(0xA7B6)
+        screen = [{pi: bool(rng.getrandbits(1))
+                   for pi in network.primary_inputs}
+                  for _ in range(ATPG_SCREEN_VECTORS)]
+        detectable_missed = 0
+        if run.missed:
+            caught = fault_detect_matrix(network, screen,
+                                         faults=run.missed)
+            detectable_missed = sum(1 for mask in caught.values()
+                                    if mask)
+
+        n_inputs = len(network.primary_inputs)
+        applied = len(run.vectors) + len(run.results)
+        enumeration_free = (run.stats.podem_calls <= run.n_collapsed
+                            and applied < 2 ** 12 < 2 ** n_inputs)
+
+        runtime_ok &= wall_s <= ATPG_MAX_RUNTIME_S[name]
+        no_detectable_missed_ok &= detectable_missed == 0
+        no_enumeration_ok &= enumeration_free
+        sections[name] = {
+            "gates": len(network.gates),
+            "inputs": n_inputs,
+            "faults": run.n_faults,
+            "collapsed": run.n_collapsed,
+            "vectors": len(run.vectors),
+            "coverage": round(run.coverage, 4),
+            "fault_efficiency": round(run.efficiency, 4),
+            "proven_untestable": len(run.proven_untestable),
+            "unclassified": len(run.missed),
+            "detectable_missed": detectable_missed,
+            "podem_calls": run.stats.podem_calls,
+            "backtracks": run.stats.backtracks,
+            "wall_s": round(wall_s, 4),
+            "max_wall_s": ATPG_MAX_RUNTIME_S[name],
+        }
+        growth_artifact[name] = fault_coverage_growth(network,
+                                                      run.vectors)
+    coverage_ok = (sections["iscas_like_s1"]["coverage"]
+                   >= ATPG_MIN_COVERAGE)
+
+    # Sequential recipe: toggle-coverage growth of the section-6.6 plan
+    # (pseudorandom init from all-0, LFSR patterns, ATPG top-up).
+    seq = BENCHMARKS["decider"]()
+    plan = sequential_test_plan(seq, initial_state=False)
+    growth_artifact["sequential_decider"] = {
+        "toggle_growth": [round(g, 4) for g in plan.growth],
+        "coverage": round(plan.coverage.coverage, 4),
+        "init_cycles": plan.init_cycles,
+        "vectors": len(plan.vectors),
+    }
+    ATPG_GROWTH_OUTPUT.write_text(
+        json.dumps(growth_artifact, indent=2) + "\n")
+
+    # Sanity anchor: the full fault universe of the bigger network —
+    # confirms the matrices above covered the real list, not a sample.
+    n_universe = len(enumerate_stuck_faults(BENCHMARKS["iscas_like_s2"]()))
+
+    return {
+        **sections,
+        "fault_universe_s2": n_universe,
+        "min_coverage": ATPG_MIN_COVERAGE,
+        "coverage_ok": coverage_ok,
+        "screen_vectors": ATPG_SCREEN_VECTORS,
+        "no_detectable_missed_ok": no_detectable_missed_ok,
+        "runtime_ok": runtime_ok,
+        "no_enumeration_ok": no_enumeration_ok,
+        "sequential_toggle_coverage":
+            growth_artifact["sequential_decider"]["coverage"],
+        "sequential_coverage_ok":
+            growth_artifact["sequential_decider"]["coverage"] >= 0.99,
+        "growth_artifact": ATPG_GROWTH_OUTPUT.name,
+    }
+
+
 def main() -> int:
     results = {
         "description": (
@@ -769,6 +915,7 @@ def main() -> int:
         "campaign_service": bench_campaign_service(),
         # Depends on bench_telemetry's BENCH_trace.jsonl artifact.
         "observability": bench_observability(),
+        "testgen_atpg": bench_testgen_atpg(),
     }
     ok = True
     for name, section in results.items():

@@ -140,6 +140,41 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_atpg(args) -> int:
+    from .testgen import generate_tests, sequential_test_plan
+    from .testgen.circuits import BENCHMARKS, iscas_like
+
+    if args.benchmark in BENCHMARKS:
+        network = BENCHMARKS[args.benchmark]()
+    elif args.benchmark == "iscas":
+        network = iscas_like(args.seed, n_gates=args.gates,
+                             n_inputs=args.inputs)
+    else:
+        print(f"unknown benchmark {args.benchmark!r}; choose from "
+              f"{sorted(BENCHMARKS)} or 'iscas'", file=sys.stderr)
+        return 2
+
+    started = time.time()
+    if network.sequential_gates():
+        plan = sequential_test_plan(
+            network, n_random=args.random,
+            initial_state=(None if args.x_init else False),
+            backtrack_limit=args.backtracks)
+        print(plan.format())
+        if plan.unresolved:
+            print("unresolved holes:", ", ".join(plan.unresolved))
+    else:
+        run = generate_tests(network, backtrack_limit=args.backtracks,
+                             compact=not args.no_compact,
+                             random_phase=args.random)
+        print(run.format())
+        if args.show_missed and run.missed:
+            for fault in run.missed:
+                print("  unclassified:", fault.describe())
+    print(f"[{len(network.gates)} gates in {time.time() - started:.1f} s]")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -376,6 +411,32 @@ def main(argv=None) -> int:
                                "already-solved defects from cache and "
                                "write fresh ones back")
 
+    atpg = sub.add_parser(
+        "atpg",
+        help="gate-level ATPG: PODEM on a benchmark network "
+             "(sequential benchmarks get the random + top-up plan)")
+    atpg.add_argument("benchmark",
+                      help="benchmark name (see repro.testgen.BENCHMARKS)"
+                           " or 'iscas' for a seeded generated network")
+    atpg.add_argument("--gates", type=int, default=500,
+                      help="gate count for 'iscas' (default 500)")
+    atpg.add_argument("--inputs", type=int, default=32,
+                      help="primary inputs for 'iscas' (default 32)")
+    atpg.add_argument("--seed", type=int, default=1,
+                      help="seed for 'iscas' (default 1)")
+    atpg.add_argument("--backtracks", type=int, default=200,
+                      help="PODEM backtrack budget per target")
+    atpg.add_argument("--random", type=int, default=64,
+                      help="random-phase vector count (combinational) "
+                           "or random pattern count (sequential)")
+    atpg.add_argument("--no-compact", action="store_true",
+                      help="skip greedy vector-set compaction")
+    atpg.add_argument("--x-init", action="store_true",
+                      help="sequential plans: start from all-X state "
+                           "(default: all flip-flops reset to 0)")
+    atpg.add_argument("--show-missed", action="store_true",
+                      help="list unclassified faults")
+
     serve = sub.add_parser(
         "serve",
         help="run the long-lived campaign service (JSON-lines TCP)")
@@ -459,6 +520,8 @@ def main(argv=None) -> int:
         return _cmd_export_spice(args.path, args.stages, args.pipe)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "atpg":
+        return _cmd_atpg(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "verify":

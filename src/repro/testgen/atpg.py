@@ -1,0 +1,915 @@
+"""Gate-level ATPG: PODEM path sensitization on the CML logic network.
+
+Section 6.6 of the paper reduces single-output amplitude-fault testing
+to toggling every gate output while its built-in detector watches.  The
+previous implementation found toggle vectors by enumerating up to 2^n
+input vectors per gate; this module replaces that with a PODEM-style
+engine (Goel 1981) over the five-valued D-calculus of :mod:`.dcalc`:
+
+* **justification** — drive one net to one value (the toggle objective:
+  detectors on every output make observation trivial, so sensitizing a
+  gate means justifying both of its output values);
+* **detection** — activate a stuck-at fault and propagate the ``D`` to
+  an observed net through the D-frontier (the classic mode, used when
+  only the primary outputs are observed);
+* **time-frame expansion** — :func:`unroll` flattens a few cycles of a
+  sequential network into one combinational network so the same engine
+  can target gates behind (shallow) flip-flop state, which is how
+  :func:`sequential_test_plan` tops up the coverage holes pseudorandom
+  patterns leave behind.
+
+Decisions are made only at primary inputs (PODEM's defining trick), so
+the search never enumerates vector spaces; a backtrack budget bounds
+worst-case behaviour and aborted targets are reported as such rather
+than silently declared untestable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, \
+    Tuple, Union
+
+from ..telemetry import Telemetry, from_env
+from . import dcalc
+from .dcalc import DValue, FIVE_VALUES, ONE, X, ZERO
+from .faultsim import StuckFault
+from .logic import Gate, LogicNetwork, Value
+from .patterns import random_vectors
+
+#: Default PODEM backtrack budget per target.
+DEFAULT_BACKTRACK_LIMIT = 200
+
+#: Canonical-value code for fast table lookups (the calculus only ever
+#: produces the five module singletons, so identity is a safe key).
+_CODE_BY_ID = {id(v): c for c, v in enumerate(FIVE_VALUES)}
+
+#: cell type -> flat 5-valued truth table (base-5 row index, first
+#: input most significant).  Shared across engines: a cell type always
+#: maps to the same ``logic_eval`` (see ``LogicNetwork.add_gate``).
+_TABLE_CACHE: Dict[str, List[DValue]] = {}
+
+
+def _cell_table(cell_type: str, eval_fn, n_inputs: int) -> List[DValue]:
+    """The precomputed five-valued truth table of one cell type.
+
+    Replaces per-evaluation exhaustive X-completion (``_x_safe``) with
+    a flat list lookup — the PODEM inner loop simulates thousands of
+    gates per decision, so this is the difference between milliseconds
+    and minutes per target on ISCAS-sized networks.
+    """
+    key = f"{cell_type}/{n_inputs}"
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = []
+        for row in range(5 ** n_inputs):
+            codes = []
+            remainder = row
+            for _ in range(n_inputs):
+                codes.append(remainder % 5)
+                remainder //= 5
+            codes.reverse()
+            table.append(dcalc.dcalc_eval(
+                eval_fn, [FIVE_VALUES[c] for c in codes]))
+        _TABLE_CACHE[key] = table
+    return table
+
+#: PODEM call outcomes.
+DETECTED = "detected"
+UNTESTABLE = "untestable"
+ABORTED = "aborted"
+
+#: ``state`` arguments accepted by the sequential helpers: one uniform
+#: 3-valued value for every flip-flop, or a per-gate mapping.
+StateArg = Union[Value, Mapping[str, Value]]
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of one PODEM call."""
+
+    status: str
+    target: str
+    vector: Optional[Dict[str, bool]] = None
+    backtracks: int = 0
+
+    def __bool__(self) -> bool:
+        return self.status == DETECTED
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters of one :class:`PodemEngine` instance."""
+
+    podem_calls: int = 0
+    backtracks: int = 0
+    detected: int = 0
+    untestable: int = 0
+    aborted: int = 0
+
+
+def _state_map(network: LogicNetwork, state: StateArg) -> Dict[str, Value]:
+    """Flip-flop *output-net* values from a ``state`` argument."""
+    pinned: Dict[str, Value] = {}
+    for gate in network.sequential_gates():
+        if isinstance(state, Mapping):
+            pinned[gate.output] = state.get(gate.name)
+        else:
+            pinned[gate.output] = state
+    return pinned
+
+
+class PodemEngine:
+    """PODEM over one (combinational view of a) logic network.
+
+    ``pinned`` maps nets the engine must treat as constants — flip-flop
+    outputs carrying the current state, or frame-0 state nets of an
+    unrolled network.  With ``free_state=True`` those nets become
+    decision variables instead (used to tell *structurally* untestable
+    targets from merely state-blocked ones).
+    """
+
+    def __init__(self, network: LogicNetwork,
+                 observed: Optional[Sequence[str]] = None,
+                 pinned: Optional[Mapping[str, Value]] = None,
+                 free_state: bool = False,
+                 backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT):
+        self.network = network
+        self.backtrack_limit = backtrack_limit
+        self.stats = EngineStats()
+
+        self._order: List[Gate] = network.combinational_order()
+        self._order_index: Dict[str, int] = {
+            g.name: i for i, g in enumerate(self._order)}
+        self._driver: Dict[str, Gate] = {
+            g.output: g for g in self._order}
+        self._fanout: Dict[str, List[Gate]] = {}
+        for gate in self._order:
+            for net in gate.inputs:
+                self._fanout.setdefault(net, []).append(gate)
+        self._tables: Dict[str, List[DValue]] = {
+            g.name: _cell_table(g.cell_type, g.eval_fn, len(g.inputs))
+            for g in self._order}
+        #: fault net -> (reachable observed, cone, frontier gates).
+        self._cone_cache: Dict[
+            str, Tuple[List[str], List[Gate], List[Gate]]] = {}
+
+        state_nets = {g.output: g.state
+                      for g in network.sequential_gates()}
+        self._pinned: Dict[str, Value] = dict(state_nets)
+        if pinned:
+            self._pinned.update(pinned)
+        self._decidable: List[str] = list(network.primary_inputs)
+        if free_state:
+            self._decidable += sorted(self._pinned)
+            self._pinned = {}
+        self._decidable_set: Set[str] = set(self._decidable)
+
+        if observed is None:
+            observed = list(network.primary_outputs)
+        self._observed: Set[str] = set(observed)
+
+        self._level: Dict[str, int] = {
+            net: 0 for net in self._decidable}
+        for net in self._pinned:
+            self._level[net] = 0
+        for gate in self._order:
+            self._level[gate.output] = 1 + max(
+                (self._level.get(net, 0) for net in gate.inputs),
+                default=0)
+
+    # ------------------------------------------------------------------
+    # Five-valued simulation
+    # ------------------------------------------------------------------
+    def _simulate(self, assignment: Dict[str, bool],
+                  fault: Optional[StuckFault],
+                  gates: Optional[List[Gate]] = None
+                  ) -> Dict[str, DValue]:
+        """Forward five-valued pass over ``gates`` (default: all).
+
+        Table-driven: each gate is one flat-list lookup instead of an
+        exhaustive X-completion of its boolean function.
+        """
+        if gates is None:
+            gates = self._order
+        values: Dict[str, DValue] = {}
+        for net in self._decidable:
+            values[net] = dcalc.from_logic(assignment.get(net))
+        for net, value in self._pinned.items():
+            values[net] = dcalc.from_logic(value)
+        if fault is not None and fault.net in values:
+            values[fault.net] = dcalc.fault_value(
+                fault.value, values[fault.net].good)
+        tables = self._tables
+        codes = _CODE_BY_ID
+        for gate in gates:
+            row = 0
+            for net in gate.inputs:
+                row = row * 5 + codes[id(values.get(net, X))]
+            out = tables[gate.name][row]
+            if fault is not None and gate.output == fault.net:
+                out = dcalc.fault_value(fault.value, out.good)
+            values[gate.output] = out
+        return values
+
+    # ------------------------------------------------------------------
+    # Cone restriction: per-target relevant gate lists
+    # ------------------------------------------------------------------
+    def _fanin_gates(self, nets: Sequence[str]) -> List[Gate]:
+        """Driving gates of the transitive fanin of ``nets``, in
+        evaluation order."""
+        seen: Set[str] = set()
+        stack = list(nets)
+        gates: List[Gate] = []
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self._driver.get(net)
+            if gate is None:
+                continue
+            gates.append(gate)
+            stack.extend(gate.inputs)
+        gates.sort(key=lambda g: self._order_index[g.name])
+        return gates
+
+    def _downstream_nets(self, net: str) -> Set[str]:
+        """``net`` plus every net reachable through combinational
+        fanout."""
+        seen = {net}
+        stack = [net]
+        while stack:
+            for gate in self._fanout.get(stack.pop(), ()):
+                if gate.output not in seen:
+                    seen.add(gate.output)
+                    stack.append(gate.output)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Backtrace: objective (net, value) -> primary-input assignment
+    # ------------------------------------------------------------------
+    def _backtrace(self, net: str, value: bool,
+                   values: Dict[str, DValue]
+                   ) -> Optional[Tuple[str, bool]]:
+        seen: Set[str] = set()
+        while True:
+            if net in self._decidable_set:
+                return net, value
+            if net in seen:  # combinational loops are impossible, but
+                return None  # stay safe against pathological backtrace
+            seen.add(net)
+            gate = self._driver.get(net)
+            if gate is None:  # pinned state / undriven net
+                return None
+            step = self._backtrace_step(gate, value, values)
+            if step is None:
+                return None
+            net, value = step
+
+    def _backtrace_step(self, gate: Gate, value: bool,
+                        values: Dict[str, DValue]
+                        ) -> Optional[Tuple[str, bool]]:
+        """Choose one X input of ``gate`` (and its value) toward the
+        objective ``gate.output == value``."""
+        ins = gate.inputs
+        vals = [values.get(net, X) for net in ins]
+        unknown = [i for i, v in enumerate(vals) if v.good is None]
+        if not unknown:
+            return None
+        cell = gate.cell_type
+        levels = self._level
+        if cell in ("buffer", "inverter"):
+            return ins[0], (value if cell == "buffer" else not value)
+        if cell in ("and2", "or2"):
+            # Controlling objective (AND=0 / OR=1): one input suffices,
+            # so take the easiest (shallowest) X input.  Non-controlling
+            # (all inputs required): take the hardest (deepest) first so
+            # infeasibility surfaces before effort is spent on the rest.
+            controlling = (value is False) == (cell == "and2")
+            choose = min if controlling else max
+            pick = choose(unknown, key=lambda i: levels.get(ins[i], 0))
+            return ins[pick], value
+        if cell == "xor2":
+            pick = min(unknown, key=lambda i: levels.get(ins[i], 0))
+            known = [v.good for v in vals if v.good is not None]
+            if known:
+                return ins[pick], (value != known[0])
+            return ins[pick], value
+        if cell == "mux2":
+            a, b, sel = vals
+            if sel.good is not None:
+                target = 1 if sel.good else 0
+                if vals[target].good is None:
+                    return ins[target], value
+                return None
+            # Select the data input that already carries the objective
+            # value (or the first unknown one) by steering the select.
+            for index, want in ((0, False), (1, True)):
+                if vals[index].good is not None \
+                        and vals[index].good == value:
+                    return ins[2], want
+            return ins[unknown[0]], value
+        # Unknown cell type: try each candidate value of the first X
+        # input and keep one that does not fix the output wrongly.
+        index = unknown[0]
+        for candidate in (value, not value):
+            trial = list(vals)
+            trial[index] = ONE if candidate else ZERO
+            out = dcalc.dcalc_eval(gate.eval_fn, trial)
+            if out.good is None or out.good == value:
+                return ins[index], candidate
+        return ins[index], value
+
+    # ------------------------------------------------------------------
+    # Propagation machinery (detection mode)
+    # ------------------------------------------------------------------
+    def _d_frontier(self, values: Dict[str, DValue],
+                    gates: Optional[List[Gate]] = None) -> List[Gate]:
+        if gates is None:
+            gates = self._order
+        frontier = [
+            gate for gate in gates
+            if values.get(gate.output, X) is X
+            and any(values.get(net, X).is_error for net in gate.inputs)]
+        frontier.sort(key=lambda g: self._level[g.output])
+        return frontier
+
+    def _x_path_exists(self, values: Dict[str, DValue]) -> bool:
+        """Can any fault effect still reach an observed net?"""
+        start = [net for net, v in values.items() if v.is_error]
+        if any(net in self._observed for net in start):
+            return True
+        seen: Set[str] = set(start)
+        queue = deque(start)
+        while queue:
+            net = queue.popleft()
+            for gate in self._fanout.get(net, ()):
+                out = gate.output
+                if out in seen:
+                    continue
+                out_value = values.get(out, X)
+                if out_value is X or out_value.is_error:
+                    if out in self._observed:
+                        return True
+                    seen.add(out)
+                    queue.append(out)
+        return False
+
+    def _propagation_objective(self, values: Dict[str, DValue],
+                               gates: Optional[List[Gate]] = None
+                               ) -> Optional[Tuple[str, bool]]:
+        """Next objective advancing the D-frontier, or None if stuck."""
+        for gate in self._d_frontier(values, gates):
+            vals = [values.get(net, X) for net in gate.inputs]
+            candidates = [i for i, v in enumerate(vals) if v is X]
+            fallback: Optional[Tuple[str, bool]] = None
+            for index in candidates:
+                for candidate in (True, False):
+                    trial = list(vals)
+                    trial[index] = ONE if candidate else ZERO
+                    out = dcalc.dcalc_eval(gate.eval_fn, trial)
+                    if out.is_error:
+                        return gate.inputs[index], candidate
+                    if out is X and fallback is None:
+                        fallback = (gate.inputs[index], candidate)
+            if fallback is not None:
+                return fallback
+        return None
+
+    # ------------------------------------------------------------------
+    # The PODEM decision loop
+    # ------------------------------------------------------------------
+    def justify(self, net: str, value: bool) -> AtpgResult:
+        """Find an input vector driving ``net`` to ``value``."""
+        target = f"{net}={int(value)}"
+        cone = self._fanin_gates([net])
+
+        def status(values: Dict[str, DValue]) -> str:
+            good = values.get(net, X).good
+            if good is None:
+                return "open"
+            return "success" if good == value else "fail"
+
+        def objective(values: Dict[str, DValue]
+                      ) -> Optional[Tuple[str, bool]]:
+            return net, value
+
+        return self._search(target, None, status, objective, cone)
+
+    def detect(self, fault: StuckFault) -> AtpgResult:
+        """Find a vector detecting ``fault`` at an observed net."""
+        target = fault.describe()
+        cached = self._cone_cache.get(fault.net)
+        if cached is None:
+            downstream = self._downstream_nets(fault.net)
+            reachable = [net for net in self._observed
+                         if net in downstream]
+            # Only the fanin cones of the reachable observed nets
+            # (which include the fault site's own cone and every side
+            # input along the propagation paths) influence detection.
+            cone = self._fanin_gates(reachable + [fault.net])
+            frontier_gates = [g for g in cone
+                              if g.output in downstream]
+            cached = (reachable, cone, frontier_gates)
+            self._cone_cache[fault.net] = cached
+        reachable, cone, frontier_gates = cached
+        if not reachable:
+            # No observed net is structurally downstream of the fault
+            # site: untestable without any search.
+            self.stats.podem_calls += 1
+            self.stats.untestable += 1
+            return AtpgResult(status=UNTESTABLE, target=target)
+
+        def status(values: Dict[str, DValue]) -> str:
+            if any(values.get(net, X).is_error for net in reachable):
+                return "success"
+            site = values.get(fault.net, X)
+            if site.good is not None and site.good == fault.value:
+                return "fail"  # activation impossible under assignment
+            if site.good is None:
+                return "open"  # activation still pending
+            if not self._d_frontier(values, frontier_gates):
+                return "fail"
+            if not self._x_path_exists(values):
+                return "fail"
+            return "open"
+
+        def objective(values: Dict[str, DValue]
+                      ) -> Optional[Tuple[str, bool]]:
+            site = values.get(fault.net, X)
+            if site.good is None:
+                return fault.net, (not fault.value)
+            return self._propagation_objective(values, frontier_gates)
+
+        return self._search(target, fault, status, objective, cone)
+
+    def _search(self, target: str, fault: Optional[StuckFault],
+                status, objective,
+                gates: Optional[List[Gate]] = None) -> AtpgResult:
+        self.stats.podem_calls += 1
+        assignment: Dict[str, bool] = {}
+        decisions: List[List] = []  # [net, value, alternative_tried]
+        backtracks = 0
+
+        def outcome(kind: str) -> AtpgResult:
+            if kind == DETECTED:
+                self.stats.detected += 1
+            elif kind == UNTESTABLE:
+                self.stats.untestable += 1
+            else:
+                self.stats.aborted += 1
+            return AtpgResult(status=kind, target=target,
+                              vector=(dict(assignment)
+                                      if kind == DETECTED else None),
+                              backtracks=backtracks)
+
+        while True:
+            values = self._simulate(assignment, fault, gates)
+            state = status(values)
+            advanced = False
+            if state == "success":
+                return outcome(DETECTED)
+            if state == "open":
+                goal = objective(values)
+                if goal is not None:
+                    step = self._backtrace(goal[0], goal[1], values)
+                    if step is not None and step[0] not in assignment:
+                        assignment[step[0]] = step[1]
+                        decisions.append([step[0], step[1], False])
+                        advanced = True
+            if advanced:
+                continue
+            # Dead end: flip the deepest untried decision.
+            while decisions:
+                net, value, tried = decisions.pop()
+                del assignment[net]
+                if not tried:
+                    backtracks += 1
+                    self.stats.backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return outcome(ABORTED)
+                    assignment[net] = not value
+                    decisions.append([net, not value, True])
+                    break
+            else:
+                return outcome(UNTESTABLE)
+
+
+# ----------------------------------------------------------------------
+# Time-frame expansion
+# ----------------------------------------------------------------------
+@dataclass
+class Unrolled:
+    """A sequential network flattened over ``n_frames`` clock cycles.
+
+    Frame-0 flip-flop outputs become pinned pseudo-inputs carrying the
+    initial state; a flip-flop's output in frame ``t`` is a buffer of
+    its data input in frame ``t-1``.
+    """
+
+    network: LogicNetwork
+    source: LogicNetwork
+    n_frames: int
+    pinned: Dict[str, Value]
+
+    def net_at(self, net: str, frame: int) -> str:
+        """The unrolled copy of ``net`` in clock cycle ``frame``."""
+        if not 0 <= frame < self.n_frames:
+            raise ValueError(f"frame {frame} outside 0..{self.n_frames - 1}")
+        return f"{net}@{frame}"
+
+    def vectors_from(self, assignment: Mapping[str, bool],
+                     fill: bool = False) -> List[Dict[str, bool]]:
+        """Map a flat engine assignment back to a per-cycle sequence."""
+        vectors = []
+        for frame in range(self.n_frames):
+            vectors.append({
+                pi: bool(assignment.get(self.net_at(pi, frame), fill))
+                for pi in self.source.primary_inputs})
+        return vectors
+
+
+def unroll(network: LogicNetwork, n_frames: int,
+           initial_state: StateArg = False) -> Unrolled:
+    """Flatten ``n_frames`` cycles of ``network`` into one combinational
+    network (classic time-frame expansion for shallow state)."""
+    if n_frames < 1:
+        raise ValueError("need at least one frame")
+    flat = LogicNetwork(f"{network.name}#x{n_frames}")
+    state = _state_map(network, initial_state)
+    pinned: Dict[str, Value] = {}
+
+    for frame in range(n_frames):
+        for pi in network.primary_inputs:
+            flat.add_input(f"{pi}@{frame}")
+    for gate in network.sequential_gates():
+        net = f"{gate.output}@0"
+        flat.add_input(net)
+        pinned[net] = state[gate.output]
+
+    for frame in range(n_frames):
+        for gate in network.gates.values():
+            if gate.is_sequential:
+                if frame == 0:
+                    continue  # frame-0 state is a pinned input
+                flat.add_gate(f"{gate.name}@{frame}", "buffer",
+                              [f"{gate.inputs[0]}@{frame - 1}"],
+                              f"{gate.output}@{frame}")
+            else:
+                flat.add_gate(f"{gate.name}@{frame}", gate.cell_type,
+                              [f"{net}@{frame}" for net in gate.inputs],
+                              f"{gate.output}@{frame}")
+    for out in dict.fromkeys(network.primary_outputs):
+        flat.add_output(f"{out}@{n_frames - 1}")
+    return Unrolled(network=flat, source=network, n_frames=n_frames,
+                    pinned=pinned)
+
+
+# ----------------------------------------------------------------------
+# Combinational ATPG run: per-fault PODEM + compaction + confirmation
+# ----------------------------------------------------------------------
+@dataclass
+class AtpgRun:
+    """One full ATPG pass over a fault list."""
+
+    network_name: str
+    vectors: List[Dict[str, bool]]
+    results: List[AtpgResult]
+    #: Faults the compacted vector set provably detects (bit-parallel
+    #: fault simulation over the *uncollapsed* list).
+    confirmed: List[StuckFault] = field(default_factory=list)
+    #: Neither detected nor proven untestable (unclassified: aborted
+    #: targets and their equivalence classes, mostly redundant faults
+    #: the budget could not prove so).
+    missed: List[StuckFault] = field(default_factory=list)
+    untestable: List[str] = field(default_factory=list)
+    #: Every member of a proven-untestable equivalence class.
+    proven_untestable: List[StuckFault] = field(default_factory=list)
+    aborted: List[str] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+    n_collapsed: int = 0
+    n_faults: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Confirmed detections over non-proven-untestable faults.
+
+        Strict: unclassified faults count against coverage even though
+        most are redundant faults that merely escaped proof.
+        """
+        testable = len(self.confirmed) + len(self.missed)
+        return len(self.confirmed) / testable if testable else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Classified faults (detected or proven untestable) over all
+        faults — the standard ATPG fault-efficiency figure."""
+        if not self.n_faults:
+            return 1.0
+        done = len(self.confirmed) + len(self.proven_untestable)
+        return done / self.n_faults
+
+    def format(self) -> str:
+        from ..analysis.reporting import format_table
+
+        rows = [["faults", self.n_faults],
+                ["collapsed targets", self.n_collapsed],
+                ["vectors", len(self.vectors)],
+                ["confirmed detected", len(self.confirmed)],
+                ["proven untestable", len(self.proven_untestable)],
+                ["unclassified", len(self.missed)],
+                ["aborted (budget)", len(self.aborted)],
+                ["coverage", f"{self.coverage * 100:.2f}%"],
+                ["fault efficiency", f"{self.efficiency * 100:.2f}%"],
+                ["backtracks", self.stats.backtracks]]
+        return format_table(["quantity", "value"], rows,
+                            title=f"ATPG run — {self.network_name}")
+
+
+def generate_tests(network: LogicNetwork,
+                   faults: Optional[Sequence[StuckFault]] = None,
+                   observed: Optional[Sequence[str]] = None,
+                   backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+                   compact: bool = True,
+                   seed: int = 17,
+                   random_phase: int = 64,
+                   telemetry: Optional[Telemetry] = None) -> AtpgRun:
+    """PODEM test generation for a combinational network.
+
+    The classic two-phase flow: ``random_phase`` seeded random vectors
+    are fault-simulated bit-parallel first and every fault they detect
+    is dropped from the target list (random patterns catch the easy
+    bulk cheaply); PODEM then targets only the random-resistant
+    remainder, re-screening the queue against freshly generated
+    vectors every few targets.  The fault list is equivalence-collapsed
+    (:func:`.compaction.collapse_faults`) before targeting, the vector
+    set is optionally compacted (greedy set cover) and the final
+    detected-fault set is *confirmed* by bit-parallel fault simulation
+    of the full, uncollapsed fault list.  Unassigned inputs in PODEM
+    cubes are filled pseudorandomly (seeded) so each vector also
+    covers faults it was not targeted at.
+
+    There is no exhaustive-enumeration path here: the random phase is a
+    fixed-size sample and cost per PODEM target is bounded by the
+    backtrack budget, not by 2^inputs.
+    """
+    from .compaction import collapse_faults, greedy_compact
+    from .faultsim import enumerate_stuck_faults, fault_detect_matrix
+
+    if network.sequential_gates():
+        raise ValueError(
+            "generate_tests is combinational; use sequential_test_plan "
+            "(or unroll) for networks with flip-flops")
+    if faults is None:
+        faults = enumerate_stuck_faults(network)
+    if observed is None:
+        observed = list(network.primary_outputs)
+
+    tel = telemetry if telemetry is not None else from_env()
+    if tel is None:
+        return _generate_tests_impl(network, faults, observed,
+                                    backtrack_limit, compact, seed,
+                                    random_phase, collapse_faults,
+                                    greedy_compact, fault_detect_matrix)
+    with tel.span("atpg_run", network=network.name,
+                  n_faults=len(faults)) as span:
+        run = _generate_tests_impl(network, faults, observed,
+                                   backtrack_limit, compact, seed,
+                                   random_phase, collapse_faults,
+                                   greedy_compact, fault_detect_matrix)
+        span.set(n_vectors=len(run.vectors),
+                 coverage=run.coverage,
+                 n_aborted=len(run.aborted))
+        metrics = tel.metrics
+        metrics.counter("atpg.podem_calls").add(run.stats.podem_calls)
+        metrics.counter("atpg.backtracks").add(run.stats.backtracks)
+        metrics.counter("atpg.detected").add(run.stats.detected)
+        metrics.counter("atpg.untestable").add(run.stats.untestable)
+        metrics.counter("atpg.aborted").add(run.stats.aborted)
+    tel.flush_metrics()
+    return run
+
+
+#: Re-screen the PODEM target queue after this many fresh vectors.
+_DROP_INTERVAL = 16
+
+
+def _generate_tests_impl(network, faults, observed, backtrack_limit,
+                         compact, seed, random_phase, collapse_faults,
+                         greedy_compact, fault_detect_matrix) -> AtpgRun:
+    import random as _random
+
+    collapsed = collapse_faults(network, faults, observed=observed)
+    engine = PodemEngine(network, observed=observed,
+                         backtrack_limit=backtrack_limit)
+    rng = _random.Random(seed)
+    inputs = network.primary_inputs
+
+    # Phase 1: random vectors knock out the easily detected bulk.
+    vectors: List[Dict[str, bool]] = [
+        {pi: bool(rng.getrandbits(1)) for pi in inputs}
+        for _ in range(random_phase)]
+    targets: List[StuckFault] = collapsed.representatives
+    if vectors:
+        screened = fault_detect_matrix(network, vectors, targets,
+                                       observed=observed)
+        targets = [f for f in targets if not screened[f]]
+
+    # Phase 2: PODEM on the random-resistant remainder, periodically
+    # dropping queued targets the new vectors already detect.
+    results: List[AtpgResult] = []
+    untestable: List[str] = []
+    aborted_faults: List[StuckFault] = []
+    fresh: List[Dict[str, bool]] = []
+    queue = list(targets)
+
+    def target_fault(fault: StuckFault, active: PodemEngine) -> None:
+        result = active.detect(fault)
+        results.append(result)
+        if result.status == DETECTED:
+            cube = dict(result.vector)
+            for pi in inputs:
+                if pi not in cube:
+                    cube[pi] = bool(rng.getrandbits(1))
+            vectors.append(cube)
+            fresh.append(cube)
+        elif result.status == UNTESTABLE:
+            untestable.append(result.target)
+        else:
+            aborted_faults.append(fault)
+
+    while queue:
+        if len(fresh) >= _DROP_INTERVAL:
+            screened = fault_detect_matrix(network, fresh, queue,
+                                           observed=observed)
+            queue = [f for f in queue if not screened[f]]
+            fresh = []
+            if not queue:
+                break
+        target_fault(queue.pop(0), engine)
+
+    aborted = [f.describe() for f in aborted_faults]
+
+    # Phase 3: escalating random mop-up.  Aborted targets are almost
+    # always redundant faults the budget could not *prove* untestable,
+    # but any detectable stragglers (aborted or simply unlucky) are
+    # cheap to rescue with bit-parallel screening — one kept vector per
+    # catch, batch size quadrupling while catches keep coming.
+    detects = fault_detect_matrix(network, vectors, faults,
+                                  observed=observed)
+    leftovers = [f for f in faults if not detects.get(f, 0)]
+    batch = 4 * random_phase
+    rescued = False
+    for _ in range(4):
+        if not leftovers or not random_phase:
+            break
+        extra = [{pi: bool(rng.getrandbits(1)) for pi in inputs}
+                 for _ in range(batch)]
+        caught = fault_detect_matrix(network, extra, leftovers,
+                                     observed=observed)
+        useful: Set[int] = set()
+        for mask in caught.values():
+            if mask:
+                useful.add((mask & -mask).bit_length() - 1)
+        if useful:
+            vectors.extend(extra[i] for i in sorted(useful))
+            leftovers = [f for f in leftovers if not caught[f]]
+            rescued = True
+        batch *= 4
+    if rescued:
+        detects = fault_detect_matrix(network, vectors, faults,
+                                      observed=observed)
+    if compact and vectors:
+        keep = greedy_compact(detects, len(vectors))
+        vectors = [vectors[i] for i in keep]
+        detects = fault_detect_matrix(network, vectors, faults,
+                                      observed=observed)
+    confirmed = [f for f in faults if detects.get(f, 0)]
+    proven: Set[StuckFault] = set()
+    untestable_set = set(untestable)
+    for rep, members in collapsed.classes.items():
+        if rep.describe() in untestable_set:
+            proven.update(members)
+    missed = [f for f in faults
+              if not detects.get(f, 0) and f not in proven]
+
+    return AtpgRun(network_name=network.name, vectors=vectors,
+                   results=results, confirmed=confirmed, missed=missed,
+                   untestable=untestable,
+                   proven_untestable=[f for f in faults if f in proven],
+                   aborted=aborted, stats=engine.stats,
+                   n_collapsed=len(collapsed.representatives),
+                   n_faults=len(faults))
+
+
+# ----------------------------------------------------------------------
+# Sequential networks: pseudorandom + coverage-hole top-up
+# ----------------------------------------------------------------------
+@dataclass
+class SequentialPlan:
+    """The paper's sequential recipe, with ATPG-backed hole top-up."""
+
+    vectors: List[Dict[str, bool]]
+    init_cycles: int
+    coverage: "ToggleCoverage"  # noqa: F821 - forward ref to .toggle
+    growth: List[float]
+    topped_up: List[str] = field(default_factory=list)
+    unresolved: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        from ..analysis.reporting import format_table
+
+        rows = [["vectors", len(self.vectors)],
+                ["init cycles", self.init_cycles],
+                ["toggle coverage", f"{self.coverage.coverage * 100:.1f}%"],
+                ["holes topped up", len(self.topped_up)],
+                ["holes unresolved", len(self.unresolved)]]
+        return format_table(["quantity", "value"], rows,
+                            title="Sequential test plan")
+
+
+def sequential_test_plan(network: LogicNetwork,
+                         n_random: int = 256,
+                         seed: int = 5,
+                         initial_state: StateArg = None,
+                         top_up_frames: int = 4,
+                         backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+                         ) -> SequentialPlan:
+    """Toggle-coverage-driven pattern generation for sequential logic.
+
+    1. apply a pseudorandom initialization prefix from the all-X state
+       until every flip-flop is known (section 6.6 / ref [13]);
+    2. apply LFSR random patterns, accumulating toggle coverage;
+    3. for each remaining coverage hole, unroll ``top_up_frames``
+       cycles from the *reached* state and ask the PODEM engine for a
+       short sequence asserting the missing value, appending it to the
+       plan (and its cycles to the coverage) when found.
+
+    The network is reset to ``initial_state`` (default: all-X, the
+    honest power-on assumption) before the run, so the plan does not
+    depend on whatever was simulated previously.
+    """
+    from .toggle import ToggleCoverage
+
+    state = _state_map(network, initial_state)
+    for gate in network.sequential_gates():
+        gate.state = state[gate.output]
+
+    signals = [g.output for g in network.gates.values()]
+    coverage = ToggleCoverage(signals=signals)
+    applied: List[Dict[str, bool]] = []
+    growth: List[float] = []
+
+    def apply(vector: Dict[str, bool]) -> None:
+        coverage.observe(network.step(vector))
+        applied.append(vector)
+        growth.append(coverage.coverage)
+
+    # 1. pseudorandom initialization until the state is known.
+    init_vectors = random_vectors(network.primary_inputs,
+                                  max(n_random, 64), seed=seed)
+    init_cycles = 0
+    for vector in init_vectors:
+        if all(v is not None for v in network.state().values()):
+            break
+        apply(vector)
+        init_cycles += 1
+
+    # 2. LFSR random patterns with coverage accumulation.
+    for vector in random_vectors(network.primary_inputs, n_random,
+                                 seed=seed + 1):
+        apply(vector)
+
+    # 3. ATPG top-up of the remaining holes via time-frame expansion.
+    topped_up: List[str] = []
+    unresolved: List[str] = []
+    for hole in list(coverage.untoggled()):
+        closed = True
+        for value in (True, False):
+            seen = coverage.seen1 if value else coverage.seen0
+            if hole in seen:
+                continue
+            flat = unroll(network, top_up_frames,
+                          initial_state=network.state())
+            engine = PodemEngine(flat.network, observed=[],
+                                 pinned=flat.pinned,
+                                 backtrack_limit=backtrack_limit)
+            sequence: Optional[List[Dict[str, bool]]] = None
+            for frame in range(top_up_frames):
+                result = engine.justify(flat.net_at(hole, frame), value)
+                if result:
+                    sequence = flat.vectors_from(
+                        result.vector)[:frame + 1]
+                    break
+            if sequence is None:
+                closed = False
+                continue
+            for vector in sequence:
+                apply(vector)
+        (topped_up if closed else unresolved).append(hole)
+
+    return SequentialPlan(vectors=applied, init_cycles=init_cycles,
+                          coverage=coverage, growth=growth,
+                          topped_up=topped_up, unresolved=unresolved)

@@ -248,6 +248,64 @@ def random_network(rng: Union[int, random.Random],
     return net
 
 
+def iscas_like(rng: Union[int, random.Random],
+               n_gates: int = 500,
+               n_inputs: int = 32,
+               name: Optional[str] = None,
+               layer_width: int = 24,
+               locality: int = 3) -> LogicNetwork:
+    """A seeded ISCAS-style combinational benchmark network.
+
+    Unlike :func:`random_network` (uniform input draws, shallow), gates
+    are arranged in layers of ``layer_width`` and draw their inputs from
+    the previous ``locality`` layers with a bias toward the nearest one
+    — the deep, reconvergent structure of the ISCAS-85 circuits that
+    makes path sensitization non-trivial.  Scales to thousands of gates;
+    every sink signal becomes a primary output.  Deterministic per seed.
+    """
+    if isinstance(rng, int):
+        seed, rng = rng, random.Random(rng)
+        name = name or f"iscas_like_{seed}_{n_gates}"
+    name = name or f"iscas_like_{n_gates}"
+    if n_gates < 1:
+        raise ValueError("need at least one gate")
+    if n_inputs < 2:
+        raise ValueError("need at least two primary inputs")
+    if layer_width < 1 or locality < 1:
+        raise ValueError("layer_width and locality must be positive")
+
+    net = LogicNetwork(name)
+    #: layers[0] is the primary inputs; each new layer is appended.
+    layers = [[net.add_input(f"i{k}") for k in range(n_inputs)]]
+    current: list = []
+    for k in range(n_gates):
+        cell = rng.choice(_RANDOM_CELL_POOL)
+        n_in = {"buffer": 1, "inverter": 1, "mux2": 3}.get(cell, 2)
+        reachable = layers[-locality:]
+        inputs = []
+        for _ in range(n_in):
+            # Geometric bias toward the nearest preceding layer keeps
+            # paths deep while still creating long reconvergent jumps.
+            depth = 0
+            while depth < len(reachable) - 1 and rng.random() < 0.35:
+                depth += 1
+            inputs.append(rng.choice(reachable[-1 - depth]))
+        net.add_gate(f"G{k}", cell, inputs, f"n{k}")
+        current.append(f"n{k}")
+        if len(current) >= layer_width:
+            layers.append(current)
+            current = []
+    if current:
+        layers.append(current)
+
+    consumed = {inp for gate in net.gates.values() for inp in gate.inputs}
+    for gate in net.gates.values():
+        if gate.output not in consumed:
+            net.add_output(gate.output)
+    net.validate()
+    return net
+
+
 #: Registry for the benches/examples.
 BENCHMARKS = {
     "full_adder": full_adder,
@@ -259,4 +317,6 @@ BENCHMARKS = {
     "johnson4": lambda: johnson_counter(4),
     "gray3": lambda: gray_counter(3),
     "decider": sequential_decider,
+    "iscas_like_s1": lambda: iscas_like(1, n_gates=500, n_inputs=32),
+    "iscas_like_s2": lambda: iscas_like(2, n_gates=1000, n_inputs=48),
 }

@@ -143,7 +143,8 @@ def _fault_simulate_impl(network: LogicNetwork,
 
 
 def observability_gain(network: LogicNetwork,
-                       vectors: Sequence[Dict[str, Value]]
+                       vectors: Sequence[Dict[str, Value]],
+                       telemetry: Optional[Telemetry] = None
                        ) -> Tuple[float, float]:
     """Stuck-at coverage with output-only vs every-gate observation.
 
@@ -151,8 +152,153 @@ def observability_gain(network: LogicNetwork,
     circuits at the primary outputs, the testing is performed on all
     gate outputs through these built-in detectors".  Returns
     ``(coverage_outputs_only, coverage_all_gates)``.
+
+    One telemetry handle is resolved here and threaded through both
+    passes: the pair is a *single* logical experiment, traced as one
+    ``observability_gain`` span whose ``faultsim.*`` counters are
+    bumped once (from the all-gates pass, the architecture under
+    study) instead of once per internal fault simulation.
     """
-    outputs_only = fault_simulate(network, vectors).coverage
-    all_gates = fault_simulate(network, vectors,
-                               observed=network.signals()).coverage
-    return outputs_only, all_gates
+    tel = telemetry if telemetry is not None else from_env()
+    if tel is None:
+        outputs_only = _fault_simulate_impl(network, vectors, None, None,
+                                            False)
+        all_gates = _fault_simulate_impl(network, vectors, None,
+                                         network.signals(), False)
+        return outputs_only.coverage, all_gates.coverage
+    with tel.span("observability_gain", n_vectors=len(vectors)) as span:
+        outputs_only = _fault_simulate_impl(network, vectors, None, None,
+                                            False)
+        all_gates = _fault_simulate_impl(network, vectors, None,
+                                         network.signals(), False)
+        span.set(coverage_outputs=outputs_only.coverage,
+                 coverage_all_gates=all_gates.coverage)
+        if all_gates.detected:
+            tel.metrics.counter("faultsim.detected").add(
+                len(all_gates.detected))
+        if all_gates.undetected:
+            tel.metrics.counter("faultsim.undetected").add(
+                len(all_gates.undetected))
+        return outputs_only.coverage, all_gates.coverage
+
+
+# ----------------------------------------------------------------------
+# Bit-parallel fault simulation (combinational)
+# ----------------------------------------------------------------------
+def _bit_eval(gate, values: Dict[str, int], mask: int) -> int:
+    """One gate over bit-packed vectors (bit j = vector j's value)."""
+    ins = [values[net] for net in gate.inputs]
+    cell = gate.cell_type
+    if cell == "buffer":
+        return ins[0]
+    if cell == "inverter":
+        return ~ins[0] & mask
+    if cell == "and2":
+        return ins[0] & ins[1]
+    if cell == "or2":
+        return ins[0] | ins[1]
+    if cell == "xor2":
+        return ins[0] ^ ins[1]
+    if cell == "mux2":
+        a, b, s = ins
+        return (a & ~s) | (b & s)
+    # Generic fallback: evaluate the boolean function per vector.
+    out = 0
+    bit = 0
+    probe = mask
+    while probe:
+        args = [bool((v >> bit) & 1) for v in ins]
+        if gate.eval_fn(*args)[0]:
+            out |= 1 << bit
+        probe >>= 1
+        bit += 1
+    return out
+
+
+def fault_detect_matrix(network: LogicNetwork,
+                        vectors: Sequence[Dict[str, bool]],
+                        faults: Optional[Sequence[StuckFault]] = None,
+                        observed: Optional[Sequence[str]] = None
+                        ) -> Dict[StuckFault, int]:
+    """Which vectors detect which faults, bit-parallel.
+
+    Packs the whole vector set into one arbitrary-precision integer per
+    net (bit ``j`` = vector ``j``) and runs one pass per fault over the
+    fault's downstream cone only, so cost scales with faults x cone
+    size, not faults x vectors x gates.  Returns ``fault -> bitmask``
+    of detecting vector indices (0 = undetected).
+
+    Combinational networks with fully specified boolean vectors only —
+    this is the ATPG confirmation/compaction kernel, not a replacement
+    for the 3-valued :func:`fault_simulate`.
+    """
+    if network.sequential_gates():
+        raise ValueError("bit-parallel fault simulation is combinational;"
+                         " unroll sequential networks first")
+    if faults is None:
+        faults = enumerate_stuck_faults(network)
+    if observed is None:
+        observed = list(network.primary_outputs)
+    observed = list(observed)
+    if not observed:
+        raise ValueError("nothing to observe")
+
+    order = network.combinational_order()
+    n = len(vectors)
+    mask = (1 << n) - 1
+
+    golden: Dict[str, int] = {}
+    for pi in network.primary_inputs:
+        bits = 0
+        for j, vector in enumerate(vectors):
+            value = vector.get(pi)
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"vector {j} does not assign a boolean to {pi!r}")
+            if value:
+                bits |= 1 << j
+        golden[pi] = bits
+    for gate in order:
+        golden[gate.output] = _bit_eval(gate, golden, mask)
+
+    fanout: Dict[str, List] = {}
+    order_index = {gate.name: i for i, gate in enumerate(order)}
+    for gate in order:
+        for net in gate.inputs:
+            fanout.setdefault(net, []).append(gate)
+
+    cone_cache: Dict[str, List] = {}
+
+    def cone(net: str) -> List:
+        """Gates downstream of ``net``, in evaluation order."""
+        if net in cone_cache:
+            return cone_cache[net]
+        seen, queue, gates = {net}, [net], []
+        while queue:
+            current = queue.pop()
+            for gate in fanout.get(current, ()):
+                if gate.output not in seen:
+                    seen.add(gate.output)
+                    queue.append(gate.output)
+                    gates.append(gate)
+        gates.sort(key=lambda g: order_index[g.name])
+        cone_cache[net] = gates
+        return gates
+
+    results: Dict[StuckFault, int] = {}
+    for fault in faults:
+        stuck = mask if fault.value else 0
+        if golden.get(fault.net) is None:
+            raise KeyError(f"fault site {fault.net!r} not in network")
+        faulty: Dict[str, int] = {fault.net: stuck}
+        for gate in cone(fault.net):
+            if gate.output == fault.net:
+                continue
+            merged = {net: faulty.get(net, golden[net])
+                      for net in gate.inputs}
+            faulty[gate.output] = _bit_eval(gate, merged, mask)
+        detected = 0
+        for net in observed:
+            detected |= faulty.get(net, golden[net]) ^ golden[net]
+        results[fault] = detected & mask
+    return results

@@ -39,8 +39,13 @@ def converges_from_x(network: LogicNetwork,
                      vectors: Sequence[Dict[str, Value]]
                      ) -> ConvergenceResult:
     """Single-simulation check: start all flip-flops at X and apply the
-    sequence; converged when no state bit is X anymore."""
+    sequence; converged when no state bit is X anymore.
+
+    A flip-flop-free network is converged before the first vector, so it
+    reports 0 cycles — consistent with :func:`convergence_length`."""
     network.reset(None)
+    if not network.sequential_gates():
+        return ConvergenceResult(True, 0, replicas=1)
     for cycle, vector in enumerate(vectors, start=1):
         network.step(vector)
         if all(v is not None for v in network.state().values()):

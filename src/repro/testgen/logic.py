@@ -92,6 +92,8 @@ class LogicNetwork:
         return net
 
     def add_output(self, net: str) -> str:
+        if net in self.primary_outputs:
+            raise ValueError(f"duplicate primary output {net!r}")
         self.primary_outputs.append(net)
         return net
 
@@ -164,6 +166,9 @@ class LogicNetwork:
             for net in gate.inputs:
                 if net not in driven:
                     warnings.append(f"{gate.name}: input {net!r} undriven")
+        for net in self.primary_outputs:
+            if net not in driven:
+                warnings.append(f"primary output {net!r} undriven")
         self.combinational_order()  # raises on cycles
         return warnings
 

@@ -1,25 +1,43 @@
-"""Combinational path sensitization (section 6.6).
+"""Combinational path sensitization (section 6.6), PODEM-backed.
 
 "While pipe defects in current source transistors ... are fully detectable
 with DC test, in some more complex gates, some defects modify the
 amplitude of only one output ... To detect it, the fault must be asserted
 by sensitizing a path through the faulty gate and make its output toggle."
 
-For combinational networks this module finds a *toggle pair*: two input
-vectors under which a target gate's output takes both values.  Small
-networks are solved exhaustively; larger ones by seeded random search.
+This module finds a *toggle pair* per gate: two input vectors under
+which the gate's output takes both values.  Earlier versions enumerated
+up to 2^n input vectors per gate; the search is now two PODEM
+justification calls (:mod:`.atpg`), so cost is bounded by the backtrack
+budget regardless of input count.
+
+Two correctness rules for sequential surroundings, both of which the
+old implementation broke:
+
+* flip-flop state is **explicit**: every entry point takes a ``state``
+  argument (uniform value or per-flop mapping, default all-0) and
+  evaluates against exactly that state, so results no longer depend on
+  whatever was simulated on the network before;
+* gates that cannot toggle are **classified**: ``structurally-constant``
+  (no state assignment makes the output toggle — e.g. an AND of
+  complementary signals) vs ``state-blocked`` (some state would, but
+  the given one does not) vs ``aborted`` (backtrack budget exhausted,
+  no claim either way).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .atpg import ABORTED, DEFAULT_BACKTRACK_LIMIT, DETECTED, \
+    PodemEngine, StateArg, _state_map
 from .logic import LogicNetwork
-from .patterns import exhaustive_vectors, random_vectors
 
-#: Exhaustive search is used up to this many primary inputs.
-EXHAUSTIVE_LIMIT = 14
+#: Untestable-gate classifications (see :class:`SensitizationReport`).
+STRUCTURALLY_CONSTANT = "structurally-constant"
+STATE_BLOCKED = "state-blocked"
+ABORTED_TARGET = "aborted"
 
 
 @dataclass
@@ -35,67 +53,181 @@ class TogglePair:
         return [self.vector_low, self.vector_high]
 
 
+def _justify_both(network: LogicNetwork, target: str,
+                  state: StateArg, free_state: bool,
+                  backtrack_limit: int):
+    """PODEM-justify target=0 and target=1 under one engine."""
+    engine = PodemEngine(network, observed=[],
+                         pinned=_state_map(network, state),
+                         free_state=free_state,
+                         backtrack_limit=backtrack_limit)
+    low = engine.justify(target, False)
+    high = engine.justify(target, True)
+    return low, high
+
+
+def _fill(network: LogicNetwork,
+          cube: Dict[str, bool]) -> Dict[str, bool]:
+    """Complete a PODEM cube into a full input vector (zeros fill)."""
+    return {pi: bool(cube.get(pi, False))
+            for pi in network.primary_inputs}
+
+
 def find_toggle_pair(network: LogicNetwork, gate_name: str,
-                     max_random: int = 4096, seed: int = 11
+                     state: StateArg = False,
+                     backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT
                      ) -> Optional[TogglePair]:
     """Find input vectors driving ``gate_name``'s output to 0 and to 1.
 
-    Returns None when the output is untestable this way (structurally
-    constant — e.g. an AND fed by complementary signals).
+    Flip-flop outputs are pinned to ``state`` during the search (the
+    network's stored state is neither read nor modified), so calls are
+    independent of simulation history.  Returns ``None`` when the
+    output cannot toggle under ``state`` — use :func:`classify_target`
+    to tell structural constants from state-blocked gates.
     """
     gate = network.gates[gate_name]
     if gate.is_sequential:
         raise ValueError(
             f"{gate_name} is sequential; use random patterns "
             "(initialization + toggle coverage) instead")
-    target = gate.output
-
-    vector_low: Optional[Dict[str, bool]] = None
-    vector_high: Optional[Dict[str, bool]] = None
-
-    inputs = network.primary_inputs
-    if len(inputs) <= EXHAUSTIVE_LIMIT:
-        candidates = exhaustive_vectors(inputs)
-    else:
-        candidates = iter(random_vectors(inputs, max_random, seed=seed))
-
-    for vector in candidates:
-        value = network.evaluate(vector).get(target)
-        if value is False and vector_low is None:
-            vector_low = dict(vector)
-        elif value is True and vector_high is None:
-            vector_high = dict(vector)
-        if vector_low is not None and vector_high is not None:
-            return TogglePair(target, vector_low, vector_high)
-    return None
+    low, high = _justify_both(network, gate.output, state,
+                              free_state=False,
+                              backtrack_limit=backtrack_limit)
+    if low.status != DETECTED or high.status != DETECTED:
+        return None
+    return TogglePair(gate.output, _fill(network, low.vector),
+                      _fill(network, high.vector))
 
 
-def sensitization_plan(network: LogicNetwork,
-                       max_random: int = 4096
-                       ) -> Tuple[List[TogglePair], List[str]]:
-    """Toggle pairs for every combinational gate, plus the untestable list.
+def classify_target(network: LogicNetwork, gate_name: str,
+                    state: StateArg = False,
+                    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT
+                    ) -> str:
+    """Why can't ``gate_name`` toggle?  (Or confirm that it can.)
+
+    Returns ``"testable"``, :data:`STRUCTURALLY_CONSTANT` (untestable
+    for *every* flip-flop state — proven by re-running the
+    justification with the state bits freed as decision variables),
+    :data:`STATE_BLOCKED` (testable under some state, not this one) or
+    :data:`ABORTED_TARGET` (budget exhausted before an answer).
+    """
+    gate = network.gates[gate_name]
+    low, high = _justify_both(network, gate.output, state,
+                              free_state=False,
+                              backtrack_limit=backtrack_limit)
+    if low.status == DETECTED and high.status == DETECTED:
+        return "testable"
+    if ABORTED in (low.status, high.status):
+        return ABORTED_TARGET
+    if not network.sequential_gates():
+        return STRUCTURALLY_CONSTANT
+    free_low, free_high = _justify_both(network, gate.output, state,
+                                        free_state=True,
+                                        backtrack_limit=backtrack_limit)
+    if free_low.status == DETECTED and free_high.status == DETECTED:
+        return STATE_BLOCKED
+    if ABORTED in (free_low.status, free_high.status):
+        return ABORTED_TARGET
+    return STRUCTURALLY_CONSTANT
+
+
+@dataclass
+class SensitizationReport:
+    """Full sensitization result with classified untestable gates."""
+
+    pairs: List[TogglePair] = field(default_factory=list)
+    #: gate name -> classification (see module constants).
+    untestable: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def untestable_names(self) -> List[str]:
+        return list(self.untestable)
+
+    def format(self) -> str:
+        from ..analysis.reporting import format_table
+
+        counts: Dict[str, int] = {}
+        for label in self.untestable.values():
+            counts[label] = counts.get(label, 0) + 1
+        rows = [["testable", len(self.pairs)]]
+        rows += sorted(counts.items())
+        return format_table(["class", "gates"], rows,
+                            title="Sensitization plan")
+
+
+def sensitization_report(network: LogicNetwork,
+                         state: StateArg = False,
+                         backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT
+                         ) -> SensitizationReport:
+    """Toggle pairs for every combinational gate, untestables classified.
 
     This is the paper's combinational testing approach: walk the gates,
     sensitize each one and toggle it while its detector watches.
     """
-    pairs: List[TogglePair] = []
-    untestable: List[str] = []
+    report = SensitizationReport()
     for name, gate in network.gates.items():
         if gate.is_sequential:
             continue
-        pair = find_toggle_pair(network, name, max_random=max_random)
-        if pair is None:
-            untestable.append(name)
+        pair = find_toggle_pair(network, name, state=state,
+                                backtrack_limit=backtrack_limit)
+        if pair is not None:
+            report.pairs.append(pair)
         else:
-            pairs.append(pair)
-    return pairs, untestable
+            report.untestable[name] = classify_target(
+                network, name, state=state,
+                backtrack_limit=backtrack_limit)
+    return report
 
 
-def compact_plan(pairs: Sequence[TogglePair]) -> List[Dict[str, bool]]:
-    """Merge the per-gate pairs into one de-duplicated vector sequence."""
-    sequence: List[Dict[str, bool]] = []
+def sensitization_plan(network: LogicNetwork,
+                       state: StateArg = False,
+                       backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT
+                       ) -> Tuple[List[TogglePair], List[str]]:
+    """Compatibility wrapper: ``(pairs, untestable_gate_names)``.
+
+    See :func:`sensitization_report` for the classified form.
+    """
+    report = sensitization_report(network, state=state,
+                                  backtrack_limit=backtrack_limit)
+    return report.pairs, report.untestable_names
+
+
+def compact_plan(pairs: Sequence[TogglePair],
+                 network: Optional[LogicNetwork] = None
+                 ) -> List[Dict[str, bool]]:
+    """Merge per-gate pairs into a small vector sequence.
+
+    With ``network`` given, runs greedy set cover over the toggle
+    objectives (each selected vector must contribute a missing 0 or 1
+    on some target output) — typically far smaller than the input list.
+    Without it, falls back to order-preserving deduplication.
+    """
+    if network is None:
+        sequence: List[Dict[str, bool]] = []
+        for pair in pairs:
+            for vector in (pair.vector_low, pair.vector_high):
+                if vector not in sequence:
+                    sequence.append(vector)
+        return sequence
+
+    candidates: List[Dict[str, bool]] = []
     for pair in pairs:
-        for vector in (pair.vector_low, pair.vector_high):
-            if vector not in sequence:
-                sequence.append(vector)
-    return sequence
+        candidates.extend(pair.as_sequence())
+    targets = {pair.target for pair in pairs}
+    #: (target, value) objectives still uncovered.
+    uncovered = {(t, v) for t in targets for v in (False, True)}
+    coverage: List[set] = []
+    for vector in candidates:
+        values = network.evaluate(vector)
+        coverage.append({(t, values.get(t)) for t in targets}
+                        & uncovered)
+    selected: List[int] = []
+    while uncovered:
+        best = max(range(len(candidates)),
+                   key=lambda i: (len(coverage[i] & uncovered), -i))
+        gain = coverage[best] & uncovered
+        if not gain:
+            break  # leftover objectives need state the vectors lack
+        selected.append(best)
+        uncovered -= gain
+    return [candidates[i] for i in sorted(selected)]

@@ -5,14 +5,48 @@ observed as soon as the faulty gate *toggles* in test mode ("the fault is
 asserted half the cycles").  Test quality therefore reduces to toggle
 coverage: the fraction of gate outputs that have been seen at both logic
 values during the pattern set.
+
+Measurements are **call-order independent**: both entry points reset the
+network to an explicit ``initial_state`` (all flip-flops 0 by default)
+before applying the first vector, so a measurement never silently
+depends on whatever was simulated before it.  Pass :data:`KEEP_STATE`
+to opt back into continuing from the current state — e.g. right after
+an initialization sequence whose converged state is the point of the
+experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, \
+    Union
 
 from .logic import LogicNetwork, Value
+
+
+class _KeepState:
+    """Sentinel: measure from the network's current state (no reset)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr aid
+        return "KEEP_STATE"
+
+
+#: Pass as ``initial_state`` to skip the reset and continue from the
+#: network's current flip-flop state.
+KEEP_STATE = _KeepState()
+
+InitialState = Union[Value, Mapping[str, Value], _KeepState]
+
+
+def _apply_initial_state(network: LogicNetwork,
+                         initial_state: InitialState) -> None:
+    if isinstance(initial_state, _KeepState):
+        return
+    if isinstance(initial_state, Mapping):
+        network.reset(None)
+        network.set_state(dict(initial_state))
+        return
+    network.reset(initial_state)
 
 
 @dataclass
@@ -54,14 +88,20 @@ class ToggleCoverage:
 def measure_toggle_coverage(network: LogicNetwork,
                             vectors: Iterable[Dict[str, Value]],
                             signals: Optional[Sequence[str]] = None,
+                            initial_state: InitialState = False,
                             ) -> ToggleCoverage:
     """Simulate ``vectors`` and accumulate toggle coverage.
 
     By default every gate output is monitored (that is where the paper
     puts detectors); pass ``signals`` to restrict the watch list.
+
+    The network is reset to ``initial_state`` first — a uniform value, a
+    gate-name-to-value mapping (flip-flops absent from the mapping start
+    at X), or :data:`KEEP_STATE` to measure from the current state.
     """
     if signals is None:
         signals = [g.output for g in network.gates.values()]
+    _apply_initial_state(network, initial_state)
     coverage = ToggleCoverage(signals=list(signals))
     for vector in vectors:
         values = network.step(vector)
@@ -72,10 +112,16 @@ def measure_toggle_coverage(network: LogicNetwork,
 def coverage_growth(network: LogicNetwork,
                     vectors: Sequence[Dict[str, Value]],
                     signals: Optional[Sequence[str]] = None,
+                    initial_state: InitialState = False,
                     ) -> List[float]:
-    """Coverage after each applied vector (the classic BIST growth curve)."""
+    """Coverage after each applied vector (the classic BIST growth curve).
+
+    Resets to ``initial_state`` first, like
+    :func:`measure_toggle_coverage`.
+    """
     if signals is None:
         signals = [g.output for g in network.gates.values()]
+    _apply_initial_state(network, initial_state)
     coverage = ToggleCoverage(signals=list(signals))
     curve = []
     for vector in vectors:

@@ -25,7 +25,7 @@ from ..dft.detectors import DetectorInstance, attach_variant1, attach_variant2
 from ..dft.sharing import SharedMonitor, build_shared_monitor, ensure_vtest
 from ..faults.catalog import enumerate_defects
 from ..faults.defects import Defect, defect_from_dict, defect_to_dict
-from ..testgen.circuits import random_network
+from ..testgen.circuits import iscas_like, random_network
 from ..testgen.logic import LogicNetwork
 from ..testgen.synthesis import SynthesizedDesign, synthesize
 
@@ -56,6 +56,10 @@ class GeneratorConfig:
     max_gates: int = 5
     max_inputs: int = 3
     max_defects: int = 2
+    #: Network topology generator: ``"random"`` (uniform input draws,
+    #: shallow) or ``"iscas"`` (layered/reconvergent, the ATPG bench
+    #: structure scaled down to fuzzing size).
+    network_style: str = "random"
     #: Detector variants to draw from: 0 = uninstrumented, 1/2 = one
     #: per-pair detector (its ``vout`` is compared across engines),
     #: 3 = the shared monitor + comparator (adds the flag oracle).
@@ -303,8 +307,18 @@ def random_scenario(seed: int,
     rng = random.Random(seed)
     n_inputs = rng.randint(1, config.max_inputs)
     n_gates = rng.randint(config.min_gates, config.max_gates)
-    network = random_network(rng, n_gates=n_gates, n_inputs=n_inputs,
-                             name=f"fuzz{seed}")
+    if config.network_style == "iscas":
+        network = iscas_like(rng, n_gates=n_gates,
+                             n_inputs=max(2, n_inputs),
+                             name=f"fuzz{seed}",
+                             layer_width=max(2, n_gates // 4))
+        n_inputs = len(network.primary_inputs)
+    elif config.network_style == "random":
+        network = random_network(rng, n_gates=n_gates, n_inputs=n_inputs,
+                                 name=f"fuzz{seed}")
+    else:
+        raise ValueError(
+            f"unknown network_style {config.network_style!r}")
     gates = tuple((g.name, g.cell_type, tuple(g.inputs), g.output)
                   for g in network.gates.values())
     input_values = tuple(sorted(

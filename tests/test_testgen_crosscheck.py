@@ -1,0 +1,128 @@
+"""Transistor-level cross-check of ATPG-predicted detectability.
+
+``tests/corpus/atpg_stuck_crosscheck.json`` freezes a small iscas-style
+network together with four collector-emitter terminal shorts, each of
+which pins one gate's differential output pair to a rail — the
+transistor-level realization of a gate-level stuck-at fault.  One of
+them sits on a structurally constant net (``n0 = xor(i1, i1)``), so it
+is provably undetectable; the other three flip observable logic, one of
+them (``n3``) only through path sensitization across the downstream OR.
+
+Two checks close the loop the ATPG engine's predictions rest on:
+
+* each short really behaves as its mapped stuck-at fault at the
+  operating point (the defect pins the pair to the stuck polarity under
+  every applied vector), and
+* the PODEM engine's per-vector detectability predictions match the
+  fault campaign's ``LogicOracle`` verdicts defect for defect, vector
+  for vector — including the undetectable case never firing.
+
+The witness itself also replays under the engine matrix like every
+other corpus scenario (``test_corpus_replay.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.circuit.components import VoltageSource
+from repro.faults import FAIL, LogicOracle, run_campaign
+from repro.testgen import (StuckFault, fault_detect_matrix, generate_tests,
+                           synthesize)
+from repro.verify import load_scenario
+
+WITNESS = os.path.join(os.path.dirname(__file__), "corpus",
+                       "atpg_stuck_crosscheck.json")
+
+#: Defect -> the gate-level stuck-at fault it realizes (verified
+#: empirically by ``test_shorts_behave_as_stuck_outputs`` below, so the
+#: mapping cannot silently rot).
+STUCK_MAP = {
+    "G1.Q1": StuckFault("n1", False),   # inverter output, primary output
+    "G4.QT2": StuckFault("n4", True),   # or2 output, primary output
+    "G3.QB2": StuckFault("n3", False),  # and2 output, internal net
+    "G0.QA1": StuckFault("n0", False),  # constant-0 net: undetectable
+}
+
+
+@pytest.fixture(scope="module")
+def crosscheck():
+    scenario = load_scenario(WITNESS)
+    network = scenario.network()
+    tech = scenario.tech()
+    design = synthesize(network, tech)
+    run = generate_tests(network)
+    defects = scenario.defect_objects()
+    return scenario, network, tech, design, run, defects
+
+
+def _drive(design, tech, vector):
+    circuit = design.circuit.copy()
+    for signal, value in vector.items():
+        net_p, net_n = design.pair(signal)
+        vp = tech.vhigh if value else tech.vlow
+        vn = tech.vlow if value else tech.vhigh
+        circuit.add(VoltageSource(f"V_{signal}", net_p, "0", vp))
+        circuit.add(VoltageSource(f"V_{signal}b", net_n, "0", vn))
+    return circuit
+
+
+def test_witness_covers_both_polarities_and_an_untestable_fault(crosscheck):
+    _, network, _, _, run, defects = crosscheck
+    assert {d.component for d in defects} == set(STUCK_MAP)
+    mapped = set(STUCK_MAP.values())
+    assert {f.value for f in mapped} == {False, True}
+    confirmed = set(run.confirmed)
+    assert StuckFault("n0", False) in set(run.proven_untestable)
+    assert mapped - {StuckFault("n0", False)} <= confirmed
+
+
+def test_shorts_behave_as_stuck_outputs(crosscheck):
+    """Every witness short pins its gate output pair to the mapped
+    polarity under every ATPG vector — the premise of the mapping."""
+    from repro.faults import inject
+    from repro.sim import operating_point
+
+    _, network, tech, design, run, defects = crosscheck
+    for defect in defects:
+        fault = STUCK_MAP[defect.component]
+        net_p, net_n = design.pair(fault.net)
+        for vector in run.vectors:
+            solution = operating_point(
+                inject(_drive(design, tech, vector), defect))
+            measured = solution.voltage(net_p) > solution.voltage(net_n)
+            assert measured == fault.value, \
+                f"{defect.describe()} not stuck at {fault.value} " \
+                f"under {vector}"
+
+
+def test_atpg_predictions_match_campaign_verdicts(crosscheck):
+    """Per vector, per defect: the campaign's logic oracle fires exactly
+    when the gate-level fault model says the vector detects the mapped
+    stuck-at fault."""
+    _, network, tech, design, run, defects = crosscheck
+    observed = network.primary_outputs
+    po_pairs = [design.pair(po) for po in observed]
+    faults = [STUCK_MAP[d.component] for d in defects]
+    predicted = fault_detect_matrix(network, run.vectors, faults=faults,
+                                    observed=observed)
+
+    campaign_hits = {d.component: 0 for d in defects}
+    for index, vector in enumerate(run.vectors):
+        circuit = _drive(design, tech, vector)
+        result = run_campaign(circuit, defects, [LogicOracle(po_pairs)])
+        for record in result.records:
+            fault = STUCK_MAP[record.defect.component]
+            expected = bool(predicted[fault] >> index & 1)
+            got = record.verdicts["logic"] == FAIL
+            assert got == expected, \
+                f"{record.defect.describe()} vs {fault.describe()} " \
+                f"under vector {index}: campaign={got} atpg={expected}"
+            campaign_hits[record.defect.component] += got
+
+    # Fault-level roll-up: the ATPG vector set detects the three
+    # detectable shorts and never fires on the untestable one.
+    for defect in defects:
+        fault = STUCK_MAP[defect.component]
+        detectable = fault in set(run.confirmed)
+        assert (campaign_hits[defect.component] > 0) == detectable

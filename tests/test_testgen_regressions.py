@@ -1,0 +1,189 @@
+"""Regression tests for the stateful-simulation correctness bugs.
+
+Each class pins one fixed bug; every test here failed against the old
+behaviour:
+
+* toggle coverage depended on whatever was simulated on the network
+  before the measurement (no reset);
+* sensitization evaluated gates behind flip-flops with stale or X
+  state, declaring them untestable (and its verdicts changed with call
+  order);
+* ``add_output`` accepted duplicates, ``validate()`` missed undriven
+  primary outputs, and ``converges_from_x`` disagreed with
+  ``convergence_length`` on flip-flop-free networks;
+* ``observability_gain`` double-bumped the ``faultsim.*`` counters by
+  resolving telemetry once per internal pass.
+"""
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.testgen import (KEEP_STATE, LogicNetwork, classify_target,
+                           converges_from_x, convergence_length,
+                           coverage_growth, find_toggle_pair, full_adder,
+                           measure_toggle_coverage, observability_gain,
+                           random_vectors, sensitization_report,
+                           sequential_decider, shift_register)
+from repro.testgen.sensitize import STATE_BLOCKED, STRUCTURALLY_CONSTANT
+
+
+def _dirty(network, n=7, seed=3):
+    """Simulate something on the network to leave stale dff state."""
+    for vector in random_vectors(network.primary_inputs, n, seed=seed):
+        network.step(vector)
+    return network
+
+
+class TestToggleCoverageReset:
+    def test_measurement_is_call_order_independent(self):
+        vectors = list(random_vectors(["sin"], 12, seed=1))
+        fresh = measure_toggle_coverage(shift_register(3), vectors)
+        dirty = measure_toggle_coverage(_dirty(shift_register(3)),
+                                        vectors)
+        assert dirty.coverage == fresh.coverage
+        assert dirty.seen0 == fresh.seen0
+        assert dirty.seen1 == fresh.seen1
+
+    def test_growth_is_call_order_independent(self):
+        network = sequential_decider()
+        vectors = list(random_vectors(network.primary_inputs, 16, seed=2))
+        first = coverage_growth(network, vectors)
+        again = coverage_growth(network, vectors)  # same object, re-run
+        assert first == again
+
+    def test_initial_state_is_parameterized(self):
+        vectors = [{"sin": False}] * 4
+        all_zero = measure_toggle_coverage(shift_register(2), vectors,
+                                           initial_state=False)
+        all_one = measure_toggle_coverage(shift_register(2), vectors,
+                                          initial_state=True)
+        # From all-1, constant-0 input toggles the registers; from
+        # all-0 it never does.
+        assert all_one.coverage > all_zero.coverage
+
+    def test_mapping_initial_state(self):
+        vectors = [{"sin": False}] * 3
+        result = measure_toggle_coverage(
+            shift_register(2), vectors,
+            initial_state={"F0": True, "F1": False})
+        assert "q0" in result.seen0 and "q0" in result.seen1
+
+    def test_keep_state_opts_out_of_reset(self):
+        network = shift_register(2)
+        network.reset(True)
+        kept = measure_toggle_coverage(network, [{"sin": False}] * 3,
+                                       initial_state=KEEP_STATE)
+        reset = measure_toggle_coverage(shift_register(2),
+                                        [{"sin": False}] * 3)
+        assert kept.coverage > reset.coverage
+
+
+class TestSensitizationState:
+    def test_gates_behind_flip_flops_are_not_untestable(self):
+        # decider: A1 = and2(s0, go) with s0 a dff output.  The old
+        # code evaluated with X state and declared every such gate
+        # untestable; with a concrete state they all toggle.
+        network = sequential_decider()
+        report = sensitization_report(network,
+                                      state={"F0": True, "F1": False})
+        assert not report.untestable, report.untestable
+        assert {p.target for p in report.pairs} == \
+            {g.output for g in network.gates.values()
+             if not g.is_sequential}
+
+    def test_verdicts_are_call_order_independent(self):
+        network = sequential_decider()
+        first = sensitization_report(network, state=False)
+        _dirty(network)
+        second = sensitization_report(network, state=False)
+        assert second.untestable == first.untestable
+        assert len(second.pairs) == len(first.pairs)
+
+    def test_state_argument_is_honoured(self):
+        # and2(q, b) with the dff held at 0 cannot toggle; with the
+        # dff at 1 it can — and the two classifications must differ.
+        net = LogicNetwork()
+        net.add_input("d")
+        net.add_input("b")
+        net.add_gate("F", "dff", ["d"], "q")
+        net.add_gate("G", "and2", ["q", "b"], "y")
+        net.add_output("y")
+        assert find_toggle_pair(net, "G", state=True) is not None
+        assert find_toggle_pair(net, "G", state=False) is None
+        assert classify_target(net, "G", state=False) == STATE_BLOCKED
+        assert classify_target(net, "G", state=True) == "testable"
+
+    def test_structurally_constant_is_distinguished(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("N", "inverter", ["a"], "ab")
+        net.add_gate("G", "and2", ["a", "ab"], "y")  # constant 0
+        net.add_output("y")
+        assert classify_target(net, "G") == STRUCTURALLY_CONSTANT
+        report = sensitization_report(net)
+        assert report.untestable["G"] == STRUCTURALLY_CONSTANT
+
+    def test_dff_target_raises(self):
+        with pytest.raises(ValueError, match="sequential"):
+            find_toggle_pair(shift_register(2), "F0")
+
+
+class TestNetworkConsistency:
+    def test_duplicate_output_rejected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G", "buffer", ["a"], "y")
+        net.add_output("y")
+        with pytest.raises(ValueError, match="duplicate primary output"):
+            net.add_output("y")
+
+    def test_undriven_primary_output_flagged(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("G", "buffer", ["a"], "y")
+        net.add_output("ghost")
+        assert any("ghost" in w and "undriven" in w
+                   for w in net.validate())
+        clean = full_adder()
+        assert clean.validate() == []
+
+    def test_converges_from_x_combinational_reports_zero_cycles(self):
+        network = full_adder()
+        vectors = list(random_vectors(network.primary_inputs, 4, seed=1))
+        single = converges_from_x(network, vectors)
+        multi = convergence_length(network, vectors)
+        assert single.converged and multi.converged
+        assert single.cycles == multi.cycles == 0
+
+    def test_sequential_convergence_still_counts_cycles(self):
+        network = shift_register(2)
+        vectors = [{"sin": True}] * 4
+        result = converges_from_x(network, vectors)
+        assert result.converged and result.cycles == 2
+
+
+class TestObservabilityGainTelemetry:
+    def test_counters_bump_once_per_experiment(self):
+        network = full_adder()
+        vectors = list(random_vectors(network.primary_inputs, 8, seed=4))
+        telemetry = Telemetry.capturing()
+        _, all_gates = observability_gain(network, vectors,
+                                          telemetry=telemetry)
+        detected = telemetry.metrics.counter_value("faultsim.detected")
+        undetected = telemetry.metrics.counter_value(
+            "faultsim.undetected")
+        total = len(network.signals()) * 2
+        # One logical experiment: the counters account for the fault
+        # list exactly once (the old code ran two traced simulations,
+        # counting every fault twice).
+        assert detected + undetected == total
+        assert detected / total == pytest.approx(all_gates)
+
+    def test_single_span_emitted(self):
+        network = full_adder()
+        vectors = list(random_vectors(network.primary_inputs, 4, seed=5))
+        telemetry = Telemetry.capturing()
+        observability_gain(network, vectors, telemetry=telemetry)
+        spans = [e for e in telemetry.events()
+                 if e.get("type") == "span"]
+        assert [s["name"] for s in spans] == ["observability_gain"]
