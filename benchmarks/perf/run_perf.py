@@ -99,6 +99,15 @@ REPORT_OUTPUT = REPO_ROOT / "BENCH_report.md"
 CHECKPOINT_OUTPUT = REPO_ROOT / "BENCH_checkpoint.jsonl"
 PERFETTO_OUTPUT = REPO_ROOT / "BENCH_trace.perfetto.json"
 ATPG_GROWTH_OUTPUT = REPO_ROOT / "BENCH_atpg_growth.json"
+DEFECT_FAMILIES_OUTPUT = REPO_ROOT / "BENCH_defect_families.json"
+#: The committed witnesses for the extension defect families; the
+#: bench replays them against the serial engine subset and gates on
+#: bit-identical agreement.
+FAMILY_WITNESSES = (
+    REPO_ROOT / "tests" / "corpus" / "oxide_severity_escape.json",
+    REPO_ROOT / "tests" / "corpus" / "lowswing_link_healing.json",
+    REPO_ROOT / "tests" / "corpus" / "ila_c_testability.json",
+)
 
 #: Acceptance targets for the optimisation passes.
 CAMPAIGN_TARGET = 3.0
@@ -897,6 +906,102 @@ def bench_testgen_atpg() -> dict:
     }
 
 
+def bench_defect_families() -> dict:
+    """Detectability gates for the extension defect families.
+
+    * ``monotone_ok`` — oxide-breakdown detection coverage is monotone
+      non-decreasing in severity for every detector variant (the
+      severity-sweep artifact, ``BENCH_defect_families.json``);
+    * ``delta_identity_ok`` / ``batched_identity_ok`` — campaign
+      verdicts on `OxideBreakdown` + `WireLeak` defects under the
+      low-rank delta and batched engines match the cold conventional
+      solves vector-for-vector;
+    * ``witnesses_ok`` — the three committed corpus witnesses (soft
+      breakdown escape, low-swing healing, ILA C-testability) replay
+      with zero cross-engine disagreements.
+    """
+    from repro.analysis import ila_c_testability_study, severity_sweep
+    from repro.cml.interconnect import attach_low_swing_link
+    from repro.faults import defect_key
+    from repro.verify import (ENGINES_BY_NAME, cross_check,
+                              load_scenario)
+
+    sweep = severity_sweep(n_stages=3)
+
+    # Verdict identity: cold vs delta vs batched on a linked chain with
+    # both new families injected.
+    chain = buffer_chain(NOMINAL, n_stages=3, frequency=100e6)
+    link = attach_low_swing_link(chain.circuit, *chain.output_nets[-1],
+                                 swing_factor=0.5)
+    oracles = lambda: [LogicOracle(chain.output_nets + [link.out_nets]),
+                       IddqOracle()]
+    defects = list(enumerate_defects(
+        chain.circuit, kinds=("oxide-breakdown", "wire-leak"),
+        oxide_resistances=(1e3, 1e5, 10e6),
+        wire_leak_resistances=(2e3, 20e3)))
+    cold = run_campaign(chain.circuit, defects, oracles(),
+                        warm_start=False)
+    delta = run_campaign(chain.circuit, defects, oracles(), delta=True)
+    batched = run_campaign(chain.circuit, defects, oracles(),
+                           batched=True)
+
+    def table(campaign):
+        return {defect_key(r.defect): (tuple(sorted(r.verdicts.items())),
+                                       r.converged)
+                for r in campaign.records}
+
+    delta_identity = table(delta) == table(cold)
+    batched_identity = table(batched) == table(cold)
+
+    # Corpus witnesses, serial engine subset (same set CI replays).
+    engines = [ENGINES_BY_NAME[name] for name in
+               ("compiled-dense", "legacy-dense", "compiled-sparse",
+                "compiled-delta", "compiled-batched")]
+    witnesses = {}
+    witnesses_ok = True
+    for path in FAMILY_WITNESSES:
+        result = cross_check(load_scenario(path), engines)
+        witnesses[path.name] = {
+            "ok": result.ok,
+            "checks": result.n_checks,
+            "disagreements": len(result.disagreements),
+        }
+        witnesses_ok &= result.ok
+
+    ila = ila_c_testability_study(n_cells=4, campaign_limit=12)
+
+    artifact = {
+        "severity_sweep": sweep.to_dict(),
+        "ila": {
+            "n_cells": ila.n_cells,
+            "n_vectors": ila.n_vectors,
+            "stuck_coverage": ila.stuck_coverage,
+            "c_testable": ila.c_testable,
+        },
+        "witnesses": witnesses,
+    }
+    DEFECT_FAMILIES_OUTPUT.write_text(
+        json.dumps(artifact, indent=2) + "\n")
+
+    per_family = cold.coverage_matrix(by="family")
+    return {
+        "sites": sweep.n_sites,
+        "severities": list(sweep.resistances),
+        "detection_fractions": {str(v): sweep.fraction(v)
+                                for v in sweep.variants},
+        "monotone_ok": sweep.monotone_ok(),
+        "campaign_defects": len(defects),
+        "per_family_any": {family: row["any"]
+                           for family, row in per_family.items()},
+        "delta_identity_ok": delta_identity,
+        "batched_identity_ok": batched_identity,
+        "witnesses": witnesses,
+        "witnesses_ok": witnesses_ok,
+        "ila_c_testable_ok": ila.c_testable,
+        "artifact": DEFECT_FAMILIES_OUTPUT.name,
+    }
+
+
 def main() -> int:
     results = {
         "description": (
@@ -916,6 +1021,7 @@ def main() -> int:
         # Depends on bench_telemetry's BENCH_trace.jsonl artifact.
         "observability": bench_observability(),
         "testgen_atpg": bench_testgen_atpg(),
+        "defect_families": bench_defect_families(),
     }
     ok = True
     for name, section in results.items():

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import Callable, Dict
 
 from . import analysis
@@ -44,6 +45,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "toggle": analysis.section66_toggle_study,
     "coverage": analysis.dc_fault_coverage,
     "variation": analysis.delay_escape_study,
+    "families": analysis.severity_sweep,
+    "ila": analysis.ila_c_testability_study,
 }
 
 
@@ -201,8 +204,9 @@ def _cmd_serve(args) -> int:
 
 def _cmd_verify(args) -> int:
     from .telemetry import from_env
-    from .verify import (DEFAULT_ENGINES, ENGINES_BY_NAME, cross_check,
-                         fuzz_session, load_scenario, parse_budget)
+    from .verify import (DEFAULT_ENGINES, ENGINES_BY_NAME, GeneratorConfig,
+                         cross_check, fuzz_session, load_scenario,
+                         parse_budget)
 
     engines = list(DEFAULT_ENGINES)
     if args.engines:
@@ -228,9 +232,21 @@ def _cmd_verify(args) -> int:
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
+    config = GeneratorConfig()
+    if getattr(args, "style", None):
+        config = replace(config, network_style=args.style)
+    if getattr(args, "families", False):
+        # The new-families rotation: oxide/interconnect defect kinds in
+        # the sample pool plus a healthy link rate.
+        config = replace(
+            config,
+            defect_kinds=config.defect_kinds + ("oxide-breakdown",
+                                                "wire-leak"),
+            link_fraction=0.3)
     report = fuzz_session(
         seed=args.seed, budget_s=budget,
         max_scenarios=args.max_scenarios, engines=engines,
+        config=config,
         out_dir=args.out, telemetry=from_env(),
         shrink_failures=not args.no_shrink,
         progress=lambda line: print(f"  ... {line}", flush=True))
@@ -470,6 +486,14 @@ def main(argv=None) -> int:
                         help="directory for shrunk failing scenarios")
     verify.add_argument("--no-shrink", action="store_true",
                         help="serialize failures without minimizing")
+    verify.add_argument("--style", default=None,
+                        choices=("random", "iscas", "ila"),
+                        help="network topology style for generated "
+                             "scenarios (default: random)")
+    verify.add_argument("--families", action="store_true",
+                        help="rotate in the extension defect families: "
+                             "oxide-breakdown and wire-leak kinds plus "
+                             "low-swing links")
     verify.add_argument("--replay", nargs="+", default=None,
                         metavar="JSON",
                         help="re-check serialized scenarios instead of "

@@ -42,6 +42,12 @@ from .detector_experiments import (
     fig12_hysteresis,
     fig14_load_sharing,
 )
+from .defect_families import (
+    IlaStudy,
+    SeveritySweep,
+    ila_c_testability_study,
+    severity_sweep,
+)
 from .method_experiments import (
     AreaStudy,
     CoverageStudy,
@@ -85,6 +91,10 @@ __all__ = [
     "ToggleStudy",
     "dc_fault_coverage",
     "CoverageStudy",
+    "severity_sweep",
+    "SeveritySweep",
+    "ila_c_testability_study",
+    "IlaStudy",
     "delay_escape_study",
     "EscapeStudy",
     "perturb_chain",

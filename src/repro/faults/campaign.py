@@ -212,7 +212,8 @@ class CampaignResult:
     mna_cache_stats: Dict[str, int] = field(default_factory=dict,
                                             compare=False)
 
-    def coverage_matrix(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
+    def coverage_matrix(self, by: str = "kind",
+                        ) -> Dict[str, Dict[str, Tuple[int, int]]]:
         """kind -> oracle -> (caught, total); non-converged defects
         count as caught by every oracle (catastrophically broken).
 
@@ -221,11 +222,20 @@ class CampaignResult:
         ``(records whose operating point was never solved, total)`` —
         so solver failures are visible instead of silently folded into
         the "trivially detectable" bucket.
+
+        ``by="family"`` groups rows by defect *family* instead of kind
+        (``catalog`` / ``oxide`` / ``interconnect``), so mixed-family
+        campaigns report a detection rate per class rather than one
+        aggregate over the section-3 kinds.
         """
+        if by not in ("kind", "family"):
+            raise ValueError(f"by must be 'kind' or 'family', got {by!r}")
         matrix: Dict[str, Dict[str, List[int]]] = {}
         for record in self.records:
+            group = (record.defect.kind if by == "kind"
+                     else record.defect.family)
             kind_row = matrix.setdefault(
-                record.defect.kind,
+                group,
                 {name: [0, 0]
                  for name in self.oracle_names + ["any", "solver_failed"]})
             caught = record.caught_by()
@@ -298,18 +308,27 @@ class CampaignResult:
     def format(self) -> str:
         from ..analysis.reporting import format_table
 
-        matrix = self.coverage_matrix()
         columns = self.oracle_names + ["any", "solver_failed"]
-        headers = ["defect kind"] + columns
-        rows = []
-        for kind in sorted(matrix):
-            row = [kind]
-            for name in columns:
-                caught, total = matrix[kind][name]
-                row.append(f"{caught}/{total}")
-            rows.append(row)
-        return format_table(headers, rows,
-                            title="Fault campaign coverage matrix")
+
+        def table(matrix, label, title):
+            headers = [label] + columns
+            rows = []
+            for group in sorted(matrix):
+                row = [group]
+                for name in columns:
+                    caught, total = matrix[group][name]
+                    row.append(f"{caught}/{total}")
+                rows.append(row)
+            return format_table(headers, rows, title=title)
+
+        report = table(self.coverage_matrix(),
+                       "defect kind", "Fault campaign coverage matrix")
+        families = {record.defect.family for record in self.records}
+        if len(families) > 1:
+            report += "\n" + table(self.coverage_matrix(by="family"),
+                                   "defect family",
+                                   "Per-family coverage")
+        return report
 
 
 def _warm_start_vector(structure, net_volts: Dict[str, float],

@@ -20,19 +20,25 @@ from typing import Iterator, List, Sequence, Set
 from ..circuit.components import Resistor, VoltageSource
 from ..circuit.devices import Bjt, MultiEmitterBjt
 from ..circuit.netlist import GROUND, Circuit
+from ..cml.interconnect import link_wire_pairs
 from .defects import (
+    DEFAULT_BREAKDOWN_RESISTANCES,
+    DEFAULT_WIRE_LEAK_RESISTANCE,
     Bridge,
     Defect,
+    OxideBreakdown,
     Pipe,
     ResistorOpen,
     ResistorShort,
     TerminalOpen,
     TerminalShort,
+    WireLeak,
 )
 
-#: Defect kinds enumerated by default (all of section 3).
+#: Defect kinds enumerated by default: all of section 3 plus the
+#: extension families (gate-oxide breakdown, interconnect leakage).
 ALL_KINDS = ("pipe", "terminal-short", "open", "resistor-short",
-             "resistor-open", "bridge")
+             "resistor-open", "bridge", "oxide-breakdown", "wire-leak")
 
 
 def _is_fault_element(name: str) -> bool:
@@ -74,17 +80,34 @@ def _same_cell(net_a: str, net_b: str) -> bool:
     return prefix_a == prefix_b
 
 
+def link_wire_sites(circuit: Circuit) -> List[tuple]:
+    """Differential wire pairs of low-swing interconnect links.
+
+    Delegates to :func:`repro.cml.interconnect.link_wire_pairs` — the
+    ``.lw``/``.lwb`` naming convention is the only layout information
+    available, as with the :func:`_same_cell` bridge heuristic.
+    """
+    return link_wire_pairs(circuit)
+
+
 def enumerate_defects(circuit: Circuit,
                       kinds: Sequence[str] = ALL_KINDS,
                       pipe_resistances: Sequence[float] = (4e3,),
                       include_bridges_across_cells: bool = False,
+                      oxide_resistances: Sequence[float] =
+                      DEFAULT_BREAKDOWN_RESISTANCES,
+                      wire_leak_resistances: Sequence[float] =
+                      (DEFAULT_WIRE_LEAK_RESISTANCE,),
                       ) -> Iterator[Defect]:
     """Yield every candidate defect of the requested ``kinds``.
 
     ``pipe_resistances`` generates one pipe per value per transistor
     (the paper sweeps 1-5 kΩ).  Bridge enumeration is quadratic in nets;
     it is restricted to same-cell pairs unless
-    ``include_bridges_across_cells`` is set.
+    ``include_bridges_across_cells`` is set.  ``oxide_resistances``
+    samples the gate-oxide breakdown severity continuum (one defect per
+    value per base junction); ``wire_leak_resistances`` likewise for
+    low-swing link wires (sites exist only when the circuit has links).
     """
     unknown = set(kinds) - set(ALL_KINDS)
     if unknown:
@@ -125,11 +148,37 @@ def enumerate_defects(circuit: Circuit,
             if include_bridges_across_cells or _same_cell(net_a, net_b):
                 yield Bridge(net_a, net_b)
 
+    if "oxide-breakdown" in kinds:
+        for name in transistors:
+            device = circuit[name]
+            # The breakdown path runs from the base (the CML "gate"
+            # terminal) to each other junction on a distinct net.
+            for terminal in device.terminals:
+                if terminal == "b" or device.net(terminal) == device.net("b"):
+                    continue
+                for resistance in oxide_resistances:
+                    yield OxideBreakdown(name, "b", terminal, resistance)
+
+    if "wire-leak" in kinds:
+        for net_a, net_b in link_wire_sites(circuit):
+            for resistance in wire_leak_resistances:
+                yield WireLeak(net_a, net_b, resistance)
+
 
 def catalog_summary(circuit: Circuit,
-                    kinds: Sequence[str] = ALL_KINDS) -> dict:
-    """Count of candidate defects per kind (coverage-report header)."""
+                    kinds: Sequence[str] = ALL_KINDS,
+                    by_family: bool = False) -> dict:
+    """Count of candidate defects per kind (coverage-report header).
+
+    With ``by_family`` the counts nest per defect family
+    (``{"catalog": {"pipe": 24, ...}, "oxide": {...}, ...}``) so
+    mixed-family campaigns can report per-class site populations.
+    """
     counts: dict = {}
     for defect in enumerate_defects(circuit, kinds):
-        counts[defect.kind] = counts.get(defect.kind, 0) + 1
+        if by_family:
+            per_family = counts.setdefault(defect.family, {})
+            per_family[defect.kind] = per_family.get(defect.kind, 0) + 1
+        else:
+            counts[defect.kind] = counts.get(defect.kind, 0) + 1
     return counts

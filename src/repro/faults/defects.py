@@ -32,12 +32,29 @@ OPEN_RESISTANCE = 100e6
 OPEN_CAPACITANCE = 1e-15
 DEFAULT_PIPE_RESISTANCE = 4e3
 
+#: Gate-oxide breakdown severity continuum (Carter/Ozev/Sorin): a soft
+#: breakdown is a barely-conducting ~10 MΩ path, a hard one ~1 kΩ.
+SOFT_BREAKDOWN_RESISTANCE = 10e6
+HARD_BREAKDOWN_RESISTANCE = 1e3
+#: Log-spaced severities the catalog enumerates per junction by default.
+DEFAULT_BREAKDOWN_RESISTANCES = (1e3, 1e5, 10e6)
+
+#: Default severity of a differential wire leak on a low-swing link
+#: (soft enough to shave swing without collapsing the logic value).
+DEFAULT_WIRE_LEAK_RESISTANCE = 20e3
+
 
 class Defect:
     """Base class: a physical defect mapped to a netlist transformation."""
 
     #: Short tag used in fault-catalog identifiers.
     kind: ClassVar[str] = "defect"
+
+    #: Defect family, for per-family coverage breakouts: the paper's
+    #: section-3 classes are ``"catalog"``; the severity-continuum
+    #: gate-oxide models are ``"oxide"``; low-swing interconnect defects
+    #: are ``"interconnect"``.
+    family: ClassVar[str] = "catalog"
 
     def apply(self, circuit: Circuit) -> None:
         """Mutate ``circuit`` to contain this defect."""
@@ -268,10 +285,123 @@ class ResistorOpen(Defect):
         return f"open resistor {self.resistor}"
 
 
+@dataclass(frozen=True)
+class OxideBreakdown(Defect):
+    """Resistive gate-oxide breakdown path across one device junction.
+
+    Carter/Ozev/Sorin model oxide breakdown as a *continuum* of resistive
+    severities rather than a binary fault: a soft breakdown is a barely
+    conducting ~10 MΩ path, a hard one a ~1 kΩ near-short.  On the
+    bipolar CML devices here the analogous dielectric path sits across
+    the base junction (base-emitter by default, base-collector as the
+    second site), so severity sweeps probe exactly the regime where the
+    amplitude detectors' thresholds decide detection.
+
+    Being a pure added conductance between existing nets, it carries a
+    :meth:`delta_conductances` view, so the delta and batched campaign
+    engines solve it without recompiling the topology.
+    """
+
+    transistor: str
+    terminal_a: str = "b"
+    terminal_b: str = "e"
+    resistance: float = SOFT_BREAKDOWN_RESISTANCE
+
+    kind: ClassVar[str] = "oxide-breakdown"
+    family: ClassVar[str] = "oxide"
+
+    @property
+    def severity(self) -> float:
+        """0 (soft, ~10 MΩ) .. 1 (hard, ~1 kΩ), log-interpolated."""
+        import math
+        span = math.log(SOFT_BREAKDOWN_RESISTANCE
+                        / HARD_BREAKDOWN_RESISTANCE)
+        raw = math.log(SOFT_BREAKDOWN_RESISTANCE
+                       / max(self.resistance, 1e-12)) / span
+        return min(1.0, max(0.0, raw))
+
+    def _junction(self, circuit: Circuit) -> Tuple[str, str]:
+        device = circuit[self.transistor]
+        if not isinstance(device, (Bjt, MultiEmitterBjt)):
+            raise TypeError(
+                f"{self.transistor} is not a bipolar transistor")
+        net_a = device.net(self.terminal_a)
+        net_b = device.net(self.terminal_b)
+        if net_a == net_b:
+            raise ValueError(
+                f"{self.transistor}: terminals {self.terminal_a}/"
+                f"{self.terminal_b} share a net; breakdown is a no-op")
+        return net_a, net_b
+
+    def apply(self, circuit: Circuit) -> None:
+        net_a, net_b = self._junction(circuit)
+        circuit.add(Resistor(
+            _unique_name(circuit, f"FAULT_OXBD_{self.transistor}"),
+            net_a, net_b, self.resistance))
+
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        net_a, net_b = self._junction(circuit)
+        return [(net_a, net_b, 1.0 / self.resistance)]
+
+    def describe(self) -> str:
+        return (f"oxide-breakdown {self.resistance:g}Ohm on "
+                f"{self.transistor} {self.terminal_a}-{self.terminal_b}")
+
+
+@dataclass(frozen=True)
+class WireLeak(Defect):
+    """Resistive leakage between interconnect wires (low-swing links).
+
+    A partially-conducting path between the two rails of a differential
+    link wire (or from a wire to any neighbouring net).  Unlike the 1 Ω
+    :class:`Bridge`, the default severity only *shaves* the received
+    swing — the regime where a low-swing link's receiver may still heal
+    the logic value while the amplitude margin quietly erodes.
+    """
+
+    net_a: str
+    net_b: str
+    resistance: float = DEFAULT_WIRE_LEAK_RESISTANCE
+
+    kind: ClassVar[str] = "wire-leak"
+    family: ClassVar[str] = "interconnect"
+
+    def _validate(self, circuit: Circuit) -> None:
+        nets = circuit.nets()
+        for net in (self.net_a, self.net_b):
+            if net not in nets:
+                raise KeyError(f"wire-leak endpoint {net!r} not in circuit")
+        if self.net_a == self.net_b:
+            raise ValueError("wire-leak endpoints must differ")
+
+    def apply(self, circuit: Circuit) -> None:
+        self._validate(circuit)
+        circuit.add(Resistor(
+            _unique_name(circuit,
+                         f"FAULT_WLEAK_{self.net_a}_{self.net_b}"),
+            self.net_a, self.net_b, self.resistance))
+
+    def delta_conductances(self, circuit: Circuit
+                           ) -> Optional[List[Tuple[str, str, float]]]:
+        self._validate(circuit)
+        return [(self.net_a, self.net_b, 1.0 / self.resistance)]
+
+    def describe(self) -> str:
+        return (f"wire-leak {self.net_a}~{self.net_b} "
+                f"({self.resistance:g}Ohm)")
+
+
 #: All concrete defect classes, for catalog enumeration.
 DEFECT_CLASSES: List[type] = [
     Pipe, TerminalShort, Bridge, TerminalOpen, ResistorShort, ResistorOpen,
+    OxideBreakdown, WireLeak,
 ]
+
+#: family tag -> defect classes, for per-family coverage breakouts.
+DEFECT_FAMILIES: dict = {}
+for _cls in DEFECT_CLASSES:
+    DEFECT_FAMILIES.setdefault(_cls.family, []).append(_cls)
 
 _DEFECT_BY_NAME = {cls.__name__: cls for cls in DEFECT_CLASSES}
 

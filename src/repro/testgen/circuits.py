@@ -200,6 +200,63 @@ def gray_counter(width: int = 3) -> LogicNetwork:
     return net
 
 
+def ila_and_exor(n_cells: int = 4,
+                 name: Optional[str] = None) -> LogicNetwork:
+    """Chakraborty-style AND-EXOR iterative logic array.
+
+    ``n_cells`` identical cells chained on a vertical carry: cell *i*
+    computes ``y_{i+1} = y_i XOR (a_i AND b_i)`` from its private inputs
+    ``a_i``/``b_i`` and the incoming ``y_i`` (primary input ``y0`` for
+    the first cell).  Every cell output is observable so C-testability
+    can also be checked per stage, not just at the final ``y``.
+
+    The array is C-testable: the 8 vectors of
+    :func:`ila_c_test_vectors` — uniform over all cells — give *every*
+    cell all four ``(a, b)`` combinations against both ``y`` values,
+    and the XOR chain propagates any single-cell flip to the final
+    output.  The test-set size is constant in ``n_cells``, which is
+    the claim the transistor-level campaigns can now check.
+    """
+    if n_cells < 1:
+        raise ValueError("need at least one cell")
+    net = LogicNetwork(name or f"ila_and_exor{n_cells}")
+    carry = net.add_input("y0")
+    for cell in range(n_cells):
+        a = net.add_input(f"a{cell}")
+        b = net.add_input(f"b{cell}")
+        net.add_gate(f"A{cell}", "and2", [a, b], f"p{cell}")
+        net.add_gate(f"X{cell}", "xor2", [carry, f"p{cell}"], f"y{cell + 1}")
+        carry = f"y{cell + 1}"
+        net.add_output(carry)
+    net.validate()
+    return net
+
+
+def ila_c_test_vectors(n_cells: int = 4) -> list:
+    """The constant 8-vector C-test set for :func:`ila_and_exor`.
+
+    Each vector assigns the same ``(a, b)`` to every cell (uniform
+    stimulus — the defining property of a C-test) and tries both
+    ``y0`` values.  Why this covers every cell exhaustively: for
+    ``(a, b) != (1, 1)`` the AND output is 0, so ``y`` passes through
+    unchanged and every cell sees the applied ``y0``; for
+    ``(a, b) == (1, 1)`` the carry toggles each stage, so across the
+    two ``y0`` values every cell still sees both carry polarities.
+    That is all 8 input combinations of the cell function, at every
+    position, with a test set independent of ``n_cells``.
+    """
+    vectors = []
+    for a in (False, True):
+        for b in (False, True):
+            for y0 in (False, True):
+                vector = {"y0": y0}
+                for cell in range(n_cells):
+                    vector[f"a{cell}"] = a
+                    vector[f"b{cell}"] = b
+                vectors.append(vector)
+    return vectors
+
+
 #: Cell types the random generator draws from, with rough weights
 #: favouring the two-input gates (the interesting lowering paths:
 #: shared level shifters, series gating).
@@ -317,6 +374,8 @@ BENCHMARKS = {
     "johnson4": lambda: johnson_counter(4),
     "gray3": lambda: gray_counter(3),
     "decider": sequential_decider,
+    "ila4": lambda: ila_and_exor(4),
+    "ila8": lambda: ila_and_exor(8),
     "iscas_like_s1": lambda: iscas_like(1, n_gates=500, n_inputs=32),
     "iscas_like_s2": lambda: iscas_like(2, n_gates=1000, n_inputs=48),
 }

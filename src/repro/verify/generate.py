@@ -20,12 +20,15 @@ from typing import Dict, List, Optional, Tuple
 from ..circuit.components import VoltageSource
 from ..circuit.netlist import Circuit
 from ..circuit.sources import Pulse
+from ..cml.interconnect import LowSwingLink, attach_low_swing_link
 from ..cml.technology import CmlTechnology, NOMINAL
 from ..dft.detectors import DetectorInstance, attach_variant1, attach_variant2
 from ..dft.sharing import SharedMonitor, build_shared_monitor, ensure_vtest
 from ..faults.catalog import enumerate_defects
-from ..faults.defects import Defect, defect_from_dict, defect_to_dict
-from ..testgen.circuits import iscas_like, random_network
+from ..faults.defects import (DEFAULT_BREAKDOWN_RESISTANCES,
+                              DEFAULT_WIRE_LEAK_RESISTANCE, Defect,
+                              defect_from_dict, defect_to_dict)
+from ..testgen.circuits import ila_and_exor, iscas_like, random_network
 from ..testgen.logic import LogicNetwork
 from ..testgen.synthesis import SynthesizedDesign, synthesize
 
@@ -57,8 +60,9 @@ class GeneratorConfig:
     max_inputs: int = 3
     max_defects: int = 2
     #: Network topology generator: ``"random"`` (uniform input draws,
-    #: shallow) or ``"iscas"`` (layered/reconvergent, the ATPG bench
-    #: structure scaled down to fuzzing size).
+    #: shallow), ``"iscas"`` (layered/reconvergent, the ATPG bench
+    #: structure scaled down to fuzzing size) or ``"ila"``
+    #: (AND-EXOR iterative array, the C-testability benchmark).
     network_style: str = "random"
     #: Detector variants to draw from: 0 = uninstrumented, 1/2 = one
     #: per-pair detector (its ``vout`` is compared across engines),
@@ -69,6 +73,18 @@ class GeneratorConfig:
     defect_kinds: Tuple[str, ...] = ("pipe", "terminal-short",
                                      "resistor-short", "bridge", "open")
     pipe_resistances: Tuple[float, ...] = (1e3, 2e3, 4e3, 8e3)
+    #: Severity samples for ``oxide-breakdown`` sites (only drawn when
+    #: the kind is in ``defect_kinds``).
+    oxide_resistances: Tuple[float, ...] = DEFAULT_BREAKDOWN_RESISTANCES
+    #: Leak samples for ``wire-leak`` sites (need links to exist).
+    wire_leak_resistances: Tuple[float, ...] = (2e3,
+                                                DEFAULT_WIRE_LEAK_RESISTANCE)
+    #: Per-gate-output probability of tapping a low-swing interconnect
+    #: link; 0 keeps the generator's per-seed outputs bit-identical to
+    #: configs that predate links.
+    link_fraction: float = 0.0
+    #: Swing-reduction factors links draw from.
+    link_swing_range: Tuple[float, float] = (0.45, 0.8)
     #: Fraction of scenarios that also carry a transient (waveform)
     #: cross-check, and its grid.
     transient_fraction: float = 0.25
@@ -97,13 +113,24 @@ class Scenario:
     defects: Tuple[dict, ...] = ()
     #: Transient cross-check grid; ``None`` skips the waveform oracle.
     transient: Optional[Tuple[float, int, float]] = None
+    #: Low-swing interconnect links: ``(tapped_signal, swing_factor)``
+    #: per link.  Additive and default-empty, so schema 1 corpus files
+    #: without the key keep replaying bit-identically.
+    links: Tuple[Tuple[str, float], ...] = ()
+    #: Explicit primary-input names, in declaration order.  Empty means
+    #: the positional ``i0..i{n-1}`` convention (every pre-ILA
+    #: scenario); ILA arrays need their structured ``y0/a{k}/b{k}``
+    #: names preserved.  Additive, so the schema stays at 1.
+    input_names: Tuple[str, ...] = ()
 
     # -- construction helpers -------------------------------------------
 
     def network(self) -> LogicNetwork:
         net = LogicNetwork(self.name)
-        for k in range(self.n_inputs):
-            net.add_input(f"i{k}")
+        names = self.input_names or tuple(
+            f"i{k}" for k in range(self.n_inputs))
+        for name in names:
+            net.add_input(name)
         for gate_name, cell, inputs, output in self.gates:
             net.add_gate(gate_name, cell, list(inputs), output)
         consumed = {inp for g in net.gates.values() for inp in g.inputs}
@@ -138,6 +165,8 @@ class Scenario:
             "defects": [dict(d) for d in self.defects],
             "transient": (list(self.transient)
                           if self.transient is not None else None),
+            "links": [list(link) for link in self.links],
+            "input_names": list(self.input_names),
         }
 
     @classmethod
@@ -165,6 +194,9 @@ class Scenario:
                 transient=(None if transient is None
                            else (float(transient[0]), int(transient[1]),
                                  float(transient[2]))),
+                links=tuple((str(signal), float(factor))
+                            for signal, factor in data.get("links", ())),
+                input_names=tuple(data.get("input_names", ())),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ScenarioError(f"malformed scenario: {error}") from None
@@ -185,12 +217,22 @@ class BuiltScenario:
     #: Shifter/gate instance count, for the supply-current invariant.
     n_cells: int = 0
     stimulus_nets: Tuple[str, str] = ("", "")
+    #: Attached low-swing links: ``(tapped_signal, LowSwingLink)``.
+    links: List[Tuple[str, LowSwingLink]] = None
+
+    def __post_init__(self):
+        if self.links is None:
+            self.links = []
 
     @property
     def flag_nets(self) -> Optional[Tuple[str, str]]:
         if self.monitor is None:
             return None
         return (self.monitor.nets.flag, self.monitor.nets.flagb)
+
+    def link_output_pairs(self) -> List[Tuple[str, str]]:
+        """Receiver output pairs — extra logic-oracle observations."""
+        return [link.out_nets for _, link in self.links]
 
 
 def build_scenario(scenario: Scenario,
@@ -235,6 +277,19 @@ def build_scenario(scenario: Scenario,
             f"V_{signal}b", net_n, "0",
             tech.vlow if high else tech.vhigh))
 
+    # Links attach before defect validation: their wires and devices are
+    # functional fabric (legitimate defect sites), unlike detectors.
+    links: List[Tuple[str, LowSwingLink]] = []
+    for index, (signal, factor) in enumerate(scenario.links):
+        try:
+            net_p, net_n = design.pair(signal)
+            link = attach_low_swing_link(circuit, net_p, net_n,
+                                         name=f"LNK{index}", tech=tech,
+                                         swing_factor=factor)
+        except (KeyError, ValueError) as error:
+            raise ScenarioError(f"bad link {signal!r}: {error}") from None
+        links.append((signal, link))
+
     # Defect sites are validated against the *uninstrumented* design so
     # only the functional logic is attacked (same policy as the CLI
     # campaign), but they are resolved lazily by the injector, so the
@@ -253,10 +308,12 @@ def build_scenario(scenario: Scenario,
                           design=design, tech=tech,
                           output_pairs=design.gate_output_pairs(),
                           defects=defects,
-                          stimulus_nets=stimulus_nets)
+                          stimulus_nets=stimulus_nets,
+                          links=links)
+    # Each link adds a driver and a receiver tail to the supply current.
     built.n_cells = sum(1 for name in design.instances) + sum(
         1 for c in circuit if c.name.startswith("LS_") and
-        c.name.endswith(".Q1"))
+        c.name.endswith(".Q1")) + 2 * len(links)
 
     variant = scenario.detector_variant
     if variant not in (0, 1, 2, 3):
@@ -272,8 +329,11 @@ def build_scenario(scenario: Scenario,
             ensure_vtest(circuit, tech)
             built.detector = attach_variant2(circuit, op, opb, tech=tech)
     elif variant == 3:
-        built.monitor = build_shared_monitor(circuit, built.output_pairs,
-                                             tech=tech)
+        # Link receiver outputs are monitored alongside the gate outputs
+        # (full-swing nodes the shared comparator legitimately covers).
+        built.monitor = build_shared_monitor(
+            circuit, built.output_pairs + built.link_output_pairs(),
+            tech=tech)
     return built
 
 
@@ -316,6 +376,10 @@ def random_scenario(seed: int,
     elif config.network_style == "random":
         network = random_network(rng, n_gates=n_gates, n_inputs=n_inputs,
                                  name=f"fuzz{seed}")
+    elif config.network_style == "ila":
+        # Two gates per array cell; the gate budget sets the depth.
+        network = ila_and_exor(max(1, n_gates // 2), name=f"fuzz{seed}")
+        n_inputs = len(network.primary_inputs)
     else:
         raise ValueError(
             f"unknown network_style {config.network_style!r}")
@@ -332,14 +396,32 @@ def random_scenario(seed: int,
     tech = NOMINAL.scaled(**dict(overrides))
 
     variant = rng.choice(config.detector_variants)
-    detector_pair = rng.randrange(n_gates)
+    detector_pair = rng.randrange(len(network.gates))
+
+    # Link draws are gated on the knob so configs that predate links
+    # consume exactly the same random stream per seed.
+    links: Tuple[Tuple[str, float], ...] = ()
+    if config.link_fraction > 0:
+        low, high = config.link_swing_range
+        links = tuple(
+            (gate.output, round(rng.uniform(low, high), 6))
+            for gate in network.gates.values()
+            if not gate.is_sequential and rng.random() < config.link_fraction)
 
     # Sample defects from the real catalog of the synthesized design so
-    # every site is valid by construction.
+    # every site is valid by construction.  Links are attached first —
+    # their wires and devices are fabric, hence sites.
     design = synthesize(network, tech)
+    for index, (signal, factor) in enumerate(links):
+        net_p, net_n = design.pair(signal)
+        attach_low_swing_link(design.circuit, net_p, net_n,
+                              name=f"LNK{index}", tech=tech,
+                              swing_factor=factor)
     sites = list(enumerate_defects(
         design.circuit, kinds=config.defect_kinds,
-        pipe_resistances=config.pipe_resistances))
+        pipe_resistances=config.pipe_resistances,
+        oxide_resistances=config.oxide_resistances,
+        wire_leak_resistances=config.wire_leak_resistances))
     n_defects = rng.randint(0, min(config.max_defects, len(sites)))
     defects = tuple(defect_to_dict(d)
                     for d in rng.sample(sites, n_defects))
@@ -354,4 +436,7 @@ def random_scenario(seed: int,
                     tech_overrides=tuple(sorted(overrides)),
                     detector_variant=variant,
                     detector_pair=detector_pair,
-                    defects=defects, transient=transient)
+                    defects=defects, transient=transient,
+                    links=links,
+                    input_names=(tuple(network.primary_inputs)
+                                 if config.network_style == "ila" else ()))

@@ -179,7 +179,8 @@ class CheckResult:
 def _fresh_oracles(built: BuiltScenario) -> List[Oracle]:
     """Oracles are stateful (``prepare`` captures the reference), so
     every engine run gets its own instances."""
-    oracles: List[Oracle] = [LogicOracle(built.output_pairs)]
+    oracles: List[Oracle] = [LogicOracle(built.output_pairs
+                                         + built.link_output_pairs())]
     if built.flag_nets is not None:
         oracles.append(FlagOracle(*built.flag_nets))
     if "VGND" in built.circuit:
@@ -278,6 +279,44 @@ def _invariant_checks(built: BuiltScenario, tol: Tolerances,
                 where=signal, value_a=swing, value_b=built.tech.swing,
                 tolerance=high,
                 detail=f"band [{low:g}, {high:g}]"))
+
+    # Low-swing links: the wire carries the reduced swing, the receiver
+    # heals it, and the healed output follows the tapped signal's logic
+    # value (driver and receiver are both non-inverting).
+    for signal, link in built.links:
+        result.n_checks += 1
+        wire_swing = abs(solution.voltage(link.wire_nets[0])
+                         - solution.voltage(link.wire_nets[1]))
+        target = link.swing_factor * built.tech.swing
+        if not (tol.swing_band[0] * target <= wire_swing
+                <= tol.swing_band[1] * target):
+            result.disagreements.append(Disagreement(
+                kind="invariant-link-wire", engine_a=engine, engine_b="",
+                where=link.wire_nets[0], value_a=wire_swing,
+                value_b=target,
+                detail=f"factor {link.swing_factor:g} wire swing"))
+        result.n_checks += 1
+        out_swing = abs(solution.voltage(link.out_nets[0])
+                        - solution.voltage(link.out_nets[1]))
+        if not (low <= out_swing <= high):
+            result.disagreements.append(Disagreement(
+                kind="invariant-link-heal", engine_a=engine, engine_b="",
+                where=link.out_nets[0], value_a=out_swing,
+                value_b=built.tech.swing,
+                detail="receiver failed to regenerate the swing"))
+        logical = expected.get(signal)
+        if logical is not None:
+            result.n_checks += 1
+            analog = (solution.voltage(link.out_nets[0])
+                      > solution.voltage(link.out_nets[1]))
+            if analog != logical:
+                result.disagreements.append(Disagreement(
+                    kind="invariant-link-logic", engine_a=engine,
+                    engine_b="", where=signal,
+                    value_a=solution.voltage(link.out_nets[0])
+                    - solution.voltage(link.out_nets[1]),
+                    value_b=1.0 if logical else 0.0,
+                    detail=f"healed output {analog} != logic {logical}"))
 
     # The fault-free circuit must not raise the shared flag.
     if built.flag_nets is not None:
@@ -380,7 +419,10 @@ def _transient_check(scenario: Scenario, engines: Sequence[EngineConfig],
     for engine in fixed + adaptive:
         built = build_scenario(scenario, transient_stimulus=True)
         if not probes:
-            probes = [net for pair in built.output_pairs for net in pair]
+            probes = [net
+                      for pair in (built.output_pairs
+                                   + built.link_output_pairs())
+                      for net in pair]
         options = engine.options(base)
         try:
             run = run_cycles(built.circuit, frequency, cycles,

@@ -72,6 +72,14 @@ def _detector_candidates(scenario: Scenario) -> Iterator[Scenario]:
         yield scenario.with_(detector_variant=0, detector_pair=0)
 
 
+def _link_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop low-swing links one at a time.  A candidate that strands a
+    link-wire defect cannot be built; ``_still_fails`` discards it."""
+    for index in range(len(scenario.links)):
+        links = scenario.links[:index] + scenario.links[index + 1:]
+        yield scenario.with_(links=links)
+
+
 def _tech_candidates(scenario: Scenario) -> Iterator[Scenario]:
     for index in range(len(scenario.tech_overrides)):
         overrides = (scenario.tech_overrides[:index]
@@ -94,6 +102,7 @@ _PASSES = (
     _gate_candidates,
     _input_candidates,
     _detector_candidates,
+    _link_candidates,
     _tech_candidates,
     _transient_candidates,
 )
@@ -137,6 +146,8 @@ def _describe(scenario: Scenario) -> str:
         parts.append(f"{len(scenario.defects)} defects")
     if scenario.detector_variant:
         parts.append(f"variant {scenario.detector_variant}")
+    if scenario.links:
+        parts.append(f"{len(scenario.links)} links")
     if scenario.tech_overrides:
         parts.append(f"{len(scenario.tech_overrides)} tech overrides")
     if scenario.transient is not None:

@@ -49,3 +49,25 @@ def test_corpus_covers_defects_and_transients():
     classes = {d["class"] for s in scenarios for d in s.defects}
     assert "TerminalOpen" in classes, \
         "corpus must exercise the delta engine's conventional fallback"
+
+
+def test_corpus_covers_new_defect_families():
+    """ISSUE 10 witnesses: the extension families stay replayable."""
+    scenarios = [load_scenario(path) for path in CORPUS]
+    classes = {d["class"] for s in scenarios for d in s.defects}
+    assert "OxideBreakdown" in classes, \
+        "corpus must freeze a soft/hard severity escape pair"
+    assert "WireLeak" in classes, \
+        "corpus must freeze a low-swing link healing case"
+    assert any(s.links for s in scenarios), \
+        "corpus must build at least one low-swing link"
+    assert any(s.input_names for s in scenarios), \
+        "corpus must carry a structured-input (ILA) topology"
+
+
+def test_corpus_witness_files_exist():
+    present = {os.path.basename(p) for p in CORPUS}
+    for witness in ("oxide_severity_escape.json",
+                    "lowswing_link_healing.json",
+                    "ila_c_testability.json"):
+        assert witness in present

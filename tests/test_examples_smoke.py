@@ -26,6 +26,7 @@ EXAMPLES = {
     "detector_design_space": None,
     "sequential_bist": None,
     "service_smoke": None,
+    "defect_families_study": None,
     "paper_scale_reproduction": (["--quick", "--only", "fig2"],),
 }
 

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the defect model layer.
+
+Two invariant groups the verification corpus and campaign engines lean
+on:
+
+* serialization — ``defect_from_dict(defect_to_dict(d)) == d`` for
+  every concrete defect class, including through an actual JSON text
+  round-trip (the corpus stores scenarios as JSON, so float fidelity
+  through ``json.dumps``/``loads`` is part of the contract);
+* catalog enumeration — on any synthesized circuit (with or without
+  low-swing links) ``enumerate_defects`` is deterministic, every
+  yielded site names real components/nets of that circuit, and every
+  defect applies cleanly to a copy.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit import Bjt, MultiEmitterBjt, Resistor
+from repro.cml import NOMINAL, buffer_chain
+from repro.cml.interconnect import attach_low_swing_link
+from repro.faults import (
+    DEFECT_CLASSES,
+    Bridge,
+    OxideBreakdown,
+    Pipe,
+    ResistorOpen,
+    ResistorShort,
+    TerminalOpen,
+    TerminalShort,
+    WireLeak,
+    defect_from_dict,
+    defect_to_dict,
+    enumerate_defects,
+)
+from repro.testgen import random_network, synthesize
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+names = st.text(
+    alphabet="ABCXYZ0123456789._", min_size=1, max_size=12)
+resistances = st.floats(min_value=1e-3, max_value=1e12,
+                        allow_nan=False, allow_infinity=False)
+capacitances = st.floats(min_value=1e-18, max_value=1e-9,
+                         allow_nan=False, allow_infinity=False)
+terminals = st.sampled_from(["b", "c", "e"])
+
+
+@st.composite
+def defects(draw):
+    cls = draw(st.sampled_from(DEFECT_CLASSES))
+    if cls is Pipe:
+        return Pipe(draw(names), draw(resistances))
+    if cls is TerminalShort:
+        return TerminalShort(draw(names), draw(terminals),
+                             draw(terminals), draw(resistances))
+    if cls is Bridge:
+        return Bridge(draw(names), draw(names), draw(resistances))
+    if cls is TerminalOpen:
+        return TerminalOpen(draw(names), draw(terminals),
+                            draw(resistances), draw(capacitances))
+    if cls is ResistorShort:
+        return ResistorShort(draw(names), draw(resistances))
+    if cls is ResistorOpen:
+        return ResistorOpen(draw(names))
+    if cls is OxideBreakdown:
+        return OxideBreakdown(draw(names), draw(terminals),
+                              draw(terminals), draw(resistances))
+    if cls is WireLeak:
+        return WireLeak(draw(names), draw(names), draw(resistances))
+    raise AssertionError(f"strategy missing for {cls.__name__}")
+
+
+@settings(**COMMON)
+@given(defects())
+def test_defect_dict_roundtrip(defect):
+    data = defect_to_dict(defect)
+    assert data["class"] == type(defect).__name__
+    assert defect_from_dict(data) == defect
+    # ... and through real JSON text, the corpus wire format.
+    assert defect_from_dict(json.loads(json.dumps(data))) == defect
+
+
+CANONICAL = [
+    Pipe("X1.Q3"),
+    TerminalShort("X1.Q2", "c", "e"),
+    Bridge("s0", "s1"),
+    TerminalOpen("X1.Q1", "b"),
+    ResistorShort("X1.R1"),
+    ResistorOpen("X1.R2"),
+    OxideBreakdown("X1.Q1"),
+    WireLeak("LNK0.lw", "LNK0.lwb"),
+]
+
+
+def test_every_class_has_a_canonical_roundtrip():
+    """Adding a defect class without serialization support must fail
+    loudly here (the corpus depends on every class being storable)."""
+    assert {type(d) for d in CANONICAL} == set(DEFECT_CLASSES)
+    for defect in CANONICAL:
+        assert defect_from_dict(defect_to_dict(defect)) == defect
+        assert defect.kind and defect.family
+
+
+def test_from_dict_rejects_unknown_class():
+    with pytest.raises(ValueError, match="unknown defect class"):
+        defect_from_dict({"class": "Gremlin"})
+
+
+def _random_circuit(seed, n_gates, with_link):
+    network = random_network(seed, n_gates=n_gates, n_inputs=2,
+                             name=f"prop{seed}")
+    design = synthesize(network, NOMINAL)
+    circuit = design.circuit
+    if with_link:
+        pair = design.gate_output_pairs()[-1]
+        attach_low_swing_link(circuit, *pair, swing_factor=0.6)
+    return circuit
+
+
+@settings(max_examples=15, **COMMON)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_gates=st.integers(min_value=1, max_value=4),
+       with_link=st.booleans())
+def test_enumerate_defects_deterministic_and_valid(seed, n_gates,
+                                                   with_link):
+    circuit = _random_circuit(seed, n_gates, with_link)
+    first = list(enumerate_defects(circuit))
+    second = list(enumerate_defects(circuit))
+    assert first == second
+    assert first
+
+    component_names = {c.name for c in circuit}
+    nets = set(circuit.nets())
+    for defect in first:
+        if isinstance(defect, (Pipe, OxideBreakdown)):
+            assert defect.transistor in component_names
+            assert isinstance(circuit[defect.transistor],
+                              (Bjt, MultiEmitterBjt))
+        elif isinstance(defect, (TerminalShort, TerminalOpen)):
+            assert defect.component in component_names
+        elif isinstance(defect, (ResistorShort, ResistorOpen)):
+            assert defect.resistor in component_names
+            assert isinstance(circuit[defect.resistor], Resistor)
+        elif isinstance(defect, (Bridge, WireLeak)):
+            assert defect.net_a in nets and defect.net_b in nets
+            assert defect.net_a != defect.net_b
+        else:  # pragma: no cover - new family without a site check
+            raise AssertionError(f"unchecked class {type(defect)}")
+
+    if with_link:
+        assert any(isinstance(d, WireLeak) for d in first)
+
+
+@settings(max_examples=10, **COMMON)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       with_link=st.booleans())
+def test_enumerated_defects_apply_cleanly(seed, with_link):
+    circuit = _random_circuit(seed, 2, with_link)
+    for defect in enumerate_defects(circuit):
+        faulty = circuit.copy()
+        defect.apply(faulty)
+        assert len(faulty) > len(circuit)
+
+
+@settings(max_examples=10, **COMMON)
+@given(n_stages=st.integers(min_value=1, max_value=3))
+def test_oxide_sites_track_transistor_count(n_stages):
+    """Every BJT contributes exactly its two distinct base junctions."""
+    chain = buffer_chain(NOMINAL, n_stages=n_stages)
+    sites = list(enumerate_defects(chain.circuit,
+                                   kinds=("oxide-breakdown",),
+                                   oxide_resistances=(10e6,)))
+    bjts = [c for c in chain.circuit
+            if isinstance(c, (Bjt, MultiEmitterBjt))]
+    expected = sum(
+        sum(1 for t in ("c", "e") if c.net(t) != c.net("b"))
+        for c in bjts)
+    assert len(sites) == expected
+    assert all(d.family == "oxide" for d in sites)

@@ -81,3 +81,71 @@ def test_shrink_trims_unused_inputs():
     assert names == {f"i{k}" for k in range(shrunk.n_inputs)}
     if f"i{shrunk.n_inputs - 1}" not in used:
         assert shrunk.n_inputs == 1  # only the irreducible floor stays
+
+
+# ----------------------------------------------------------------------
+# New defect families (oxide / interconnect) through the shrinker
+# ----------------------------------------------------------------------
+def _family_scenario(required=("OxideBreakdown", "WireLeak")):
+    """A scenario rich in new-family structure: links plus a mix of
+    catalog and extension defects (any of ``required`` qualifies)."""
+    config = GeneratorConfig(
+        min_gates=4, max_gates=6, max_inputs=3, max_defects=3,
+        defect_kinds=("pipe", "oxide-breakdown", "wire-leak"),
+        link_fraction=1.0)
+    for seed in range(200):
+        scenario = random_scenario(seed, config)
+        kinds = {d["class"] for d in scenario.defects}
+        if (scenario.links and len(scenario.gates) >= 4
+                and kinds & set(required)):
+            return scenario
+    raise AssertionError(
+        f"no link scenario with {required} in seed range")
+
+
+def test_shrink_preserves_new_family_kind():
+    """A disagreement pinned to an extension-family defect keeps that
+    defect class while everything unrelated shrinks away."""
+    scenario = _family_scenario()
+    target_class = next(d["class"] for d in scenario.defects
+                        if d["class"] in ("OxideBreakdown", "WireLeak"))
+
+    def failing(candidate):
+        return any(d["class"] == target_class
+                   for d in candidate.defects)
+
+    shrunk = shrink(scenario, failing)
+    assert any(d["class"] == target_class for d in shrunk.defects)
+    assert len(shrunk.defects) == 1
+    assert len(shrunk.gates) <= 2
+    build_scenario(shrunk)
+
+
+def test_shrink_drops_links_when_failure_is_elsewhere():
+    scenario = _family_scenario()
+    target = next(d for d in scenario.defects
+                  if d["class"] not in ("WireLeak",))
+
+    def failing(candidate):
+        return target in candidate.defects
+
+    shrunk = shrink(scenario, failing)
+    assert not shrunk.links
+    assert target in shrunk.defects
+
+
+def test_shrink_keeps_link_needed_by_wire_leak():
+    """A wire-leak defect on link wires strands when its link is
+    dropped; the shrinker must reject that candidate (unbuildable) and
+    keep the link."""
+    scenario = _family_scenario(required=("WireLeak",))
+    leaks = [d for d in scenario.defects if d["class"] == "WireLeak"]
+
+    def failing(candidate):
+        build_scenario(candidate)  # raises on stranded wire defects
+        return leaks[0] in candidate.defects
+
+    shrunk = shrink(scenario, failing)
+    assert leaks[0] in shrunk.defects
+    assert shrunk.links, "the leaking link must survive"
+    build_scenario(shrunk)
